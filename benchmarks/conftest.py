@@ -1,0 +1,15 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one paper artefact (see DESIGN.md section 4)
+and asserts its headline claim, so ``pytest benchmarks/ --benchmark-only``
+is simultaneously a timing run and a reproduction check.
+"""
+
+import pytest
+
+from repro.perfmodel.model import AnalyticModel
+
+
+@pytest.fixture(scope="session")
+def model():
+    return AnalyticModel()

@@ -1,0 +1,25 @@
+"""Ablation: second operand network (paper Section 5.1).
+
+The paper found that a second operand network buys only ~1% across its
+applications; this benchmark drives the cycle-level simulator with link
+contention on and measures the same experiment.
+"""
+
+from repro.experiments import ablation_son
+
+
+def test_bench_ablation_operand_network(benchmark):
+    results = benchmark.pedantic(
+        ablation_son.run,
+        kwargs={"benchmarks": ("gcc",), "num_slices": 4,
+                "trace_length": 2000},
+        rounds=1, iterations=1,
+    )
+    row = results["gcc"]
+
+    # A second network can only help.
+    assert row["cycles_2net"] <= row["cycles_1net"]
+
+    # Paper: the improvement is small (~1%); allow a generous band but
+    # assert it stays marginal - a single operand network suffices.
+    assert row["improvement"] < 0.10

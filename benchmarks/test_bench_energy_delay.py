@@ -1,0 +1,19 @@
+"""Extension benchmark: Energy*Delay^n optima (paper Section 2.2 analogy)."""
+
+from repro.experiments import energy_delay
+
+
+def test_bench_energy_delay_optima(benchmark):
+    table = benchmark(energy_delay.run)
+
+    # Higher delay exponents buy bigger cores - the drift the paper's
+    # perf^k/area metrics show in Table 4.
+    for bench in ("gcc", "omnetpp"):
+        ed1 = table[1][bench]
+        ed3 = table[3][bench]
+        assert ed3[1] >= ed1[1]  # slices
+        assert ed3[0] >= ed1[0]  # cache
+
+    # Optima vary across benchmarks at every exponent >= 2.
+    for n in (2, 3):
+        assert len(set(table[n].values())) >= 2

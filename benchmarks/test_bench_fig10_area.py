@@ -1,0 +1,18 @@
+"""Figures 10-11: area decomposition benchmark."""
+
+from repro.experiments import area_decomposition
+
+
+def test_bench_fig10_fig11_area(benchmark):
+    result = benchmark(area_decomposition.run)
+    fig10 = result["fig10_without_l2"]
+    fig11 = result["fig11_with_l2"]
+    overhead = result["sharing_overhead_pct"]
+
+    # Paper Figure 10: the L1 caches are the largest components (24% each)
+    assert fig10["l1_icache"] == max(fig10.values())
+    # Paper Figure 11: the 64 KB L2 bank dominates the tile (~35%).
+    assert fig11["l2_dcache_64kb"] == max(fig11.values())
+    # Paper: Sharing overhead ~8% without L2, ~5% with it.
+    assert 7 <= overhead["without_l2"] <= 9
+    assert 4 <= overhead["with_l2"] <= 7

@@ -1,0 +1,32 @@
+"""Figure 12: VCore scalability benchmark."""
+
+from repro.experiments import scalability
+
+
+def test_bench_fig12_scalability(benchmark):
+    series = benchmark(scalability.run)
+    assert len(series) == 15
+
+    # Paper band: normalised performance spans roughly 1x-5x at 8 Slices.
+    finals = {bench: values[-1] for bench, values in series.items()}
+    assert max(finals.values()) >= 3.0
+    assert min(finals.values()) >= 0.95
+
+    # Paper Section 5.3: PARSEC speedup bounded by 2.
+    for bench in ("dedup", "swaptions", "ferret"):
+        assert max(series[bench]) <= 2.0 + 1e-9
+
+    # Strong scalers beat weak scalers (Figure 12 curve ordering).
+    assert finals["libquantum"] > finals["hmmer"]
+    assert finals["gcc"] > finals["astar"]
+
+
+def test_bench_fig12_simulated_anchor(benchmark):
+    """Cycle-level anchor: gcc gains from 1 -> 4 Slices in SSim too."""
+    speedups = benchmark.pedantic(
+        scalability.run_simulated,
+        kwargs={"benchmark": "gcc", "slice_grid": (1, 4),
+                "trace_length": 2500},
+        rounds=1, iterations=1,
+    )
+    assert speedups[4] > 1.05

@@ -1,0 +1,26 @@
+"""Figure 14: utility-surface benchmark."""
+
+from repro.experiments import utility_surfaces
+
+
+def test_bench_fig14_utility_surfaces(benchmark):
+    result = benchmark(utility_surfaces.run)
+    peaks = result["peaks"]
+    surfaces = result["surfaces"]
+
+    # Four panels, full grids.
+    assert len(surfaces) == 4
+    for surface in surfaces.values():
+        assert len(surface) == 9 * 8
+        assert all(v > 0 for v in surface.values())
+
+    # Paper: "simply changing the utility function can drastically
+    # change which configuration provides peak utility".
+    assert peaks[("gcc", "Utility1")] != peaks[("gcc", "Utility2")]
+
+    # Paper: holding the utility constant but changing the workload
+    # moves the peak (gcc vs bzip under Utility2).
+    assert peaks[("gcc", "Utility2")] != peaks[("bzip", "Utility2")]
+
+    # Under Utility2, gcc favours more Slices than bzip (Section 5.6).
+    assert peaks[("gcc", "Utility2")][1] > peaks[("bzip", "Utility2")][1]

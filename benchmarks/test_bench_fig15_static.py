@@ -1,0 +1,21 @@
+"""Figure 15: market-efficiency gain vs best static fixed architecture."""
+
+from repro.experiments import static_comparison
+
+
+def test_bench_fig15_static_gain(benchmark):
+    result = benchmark(static_comparison.run)
+    summary = result["summary"]
+
+    # Paper: ~1000 pairwise permutations (C(45, 2) = 990).
+    assert summary["pairs"] == 990
+
+    # The Sharing Architecture never loses (it can mimic the fixed core).
+    assert summary["min"] >= 1.0 - 1e-9
+
+    # Paper headline: "up to 5x" more economically efficient market.
+    assert 2.0 <= summary["max"] <= 8.0
+
+    # Gains are broad, not a single outlier.
+    assert summary["median"] >= 1.05
+    assert summary["mean"] >= 1.1

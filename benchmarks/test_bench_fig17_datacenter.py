@@ -1,0 +1,19 @@
+"""Figure 17: datacenter big/small core mix benchmark."""
+
+from repro.experiments import datacenter_mix
+
+
+def test_bench_fig17_datacenter_mix(benchmark):
+    result = benchmark(datacenter_mix.run)
+    optima = result["optimal_big_fraction"]
+
+    # Paper: "depending on application mix, different ratios of big and
+    # small cores are required" - the optimum must move with the mix.
+    assert len(set(optima.values())) >= 2
+
+    # A gobmk-only datacenter wants big cores; hmmer-only wants small.
+    assert optima[0.0] > optima[1.0]
+
+    # Every surface point is a valid utility/area value.
+    for points in result["surfaces"].values():
+        assert all(p.utility_per_area > 0 for p in points)

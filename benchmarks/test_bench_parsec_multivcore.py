@@ -1,0 +1,23 @@
+"""PARSEC multi-VCore benchmark: the inter-VCore coherence path."""
+
+from repro.experiments import parsec_multivcore
+
+
+def test_bench_parsec_multivcore(benchmark):
+    results = benchmark.pedantic(
+        parsec_multivcore.run,
+        kwargs={"trace_length": 500},
+        rounds=1, iterations=1,
+    )
+    assert set(results) == {"dedup", "swaptions", "ferret"}
+    for bench, row in results.items():
+        assert row["aggregate_ipc"] > 0
+        # Coherence costs something but does not dominate (the paper's
+        # design sorts intra-VCore traffic so only true sharing pays).
+        assert -0.01 <= row["coherence_overhead"] <= 0.5
+    # Sharing produced real directory traffic across the suite (light
+    # workloads on short traces may individually see none).
+    total_traffic = sum(
+        row["invalidations"] + row["downgrades"] for row in results.values()
+    )
+    assert total_traffic > 0

@@ -1,0 +1,45 @@
+"""Simulator throughput benchmarks (engineering, not a paper artefact).
+
+Tracks SSim's own performance so regressions in the cycle loop are
+caught: simulated instructions per second at 1 and 8 Slices.
+"""
+
+import pytest
+
+from repro.core.simulator import simulate
+from repro.trace.generator import make_workload
+
+
+@pytest.fixture(scope="module")
+def gcc_workload():
+    return make_workload("gcc", 2000, seed=1)
+
+
+def test_bench_ssim_single_slice(benchmark, gcc_workload):
+    warmup, trace = gcc_workload
+    result = benchmark.pedantic(
+        simulate,
+        args=(trace,),
+        kwargs={"num_slices": 1, "l2_cache_kb": 128,
+                "warmup_addresses": warmup},
+        rounds=2, iterations=1,
+    )
+    assert result.stats.committed == 2000
+
+
+def test_bench_ssim_eight_slices(benchmark, gcc_workload):
+    warmup, trace = gcc_workload
+    result = benchmark.pedantic(
+        simulate,
+        args=(trace,),
+        kwargs={"num_slices": 8, "l2_cache_kb": 512,
+                "warmup_addresses": warmup},
+        rounds=2, iterations=1,
+    )
+    assert result.stats.committed == 2000
+
+
+def test_bench_trace_generation(benchmark):
+    from repro.trace.generator import generate_trace
+    trace = benchmark(generate_trace, "gcc", 5000, 7)
+    assert len(trace) == 5000

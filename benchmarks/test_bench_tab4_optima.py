@@ -1,0 +1,30 @@
+"""Table 4: performance-area efficiency optima benchmark."""
+
+from repro.experiments import optima
+
+
+def test_bench_tab4_optima(benchmark):
+    table = benchmark(optima.run)
+
+    # Paper Section 5.5: optima are non-uniform across benchmarks.
+    diversity = optima.configuration_diversity(table)
+    assert all(count >= 2 for count in diversity.values())
+
+    # Within single benchmarks, the optimum moves with the metric
+    # (paper: "gcc has over a factor of two in performance gain between
+    # optimal configurations for different metrics").
+    gcc_configs = {m: table[m]["gcc"] for m in table}
+    assert len(set(gcc_configs.values())) >= 2
+
+    # Higher performance preference buys bigger configurations.
+    p1 = table["performance/area"]["gcc"]
+    p3 = table["performance^3/area"]["gcc"]
+    assert p3[0] >= p1[0]  # cache
+    assert p3[1] >= p1[1]  # slices
+
+    # Paper anchors: gobmk's perf^2 optimum is a large core; hmmer's is
+    # small.
+    gobmk = table["performance^2/area"]["gobmk"]
+    hmmer = table["performance^2/area"]["hmmer"]
+    assert gobmk[0] >= 256 and gobmk[1] >= 3
+    assert hmmer[1] <= gobmk[1]

@@ -1,0 +1,24 @@
+"""Table 6: market-dependent optima benchmark."""
+
+from repro.experiments import markets
+
+
+def test_bench_tab6_markets(benchmark):
+    table = benchmark(markets.run)
+
+    # 3 markets x 3 utilities x 15 benchmarks.
+    assert len(table) == 3 * 3 * 15
+
+    # Paper Section 5.7: when demand departs from area cost, optimal
+    # configurations move.  Expensive Slices (Market1) must not buy more
+    # Slices than cheap Slices (Market3) for the same customer.
+    benches = sorted({b for _, _, b in table})
+    for u in ("Utility2", "Utility3"):
+        for b in benches:
+            dear = table[("Market1", u, b)]
+            cheap = table[("Market3", u, b)]
+            assert dear[1] <= cheap[1] + 1  # slices
+
+    # A substantial fraction of optima shift between markets.
+    shifts = markets.market_shift_summary(table)
+    assert any(fraction >= 0.4 for fraction in shifts.values())

@@ -1,0 +1,92 @@
+"""A phase-adaptive VM: reconfiguring a VCore as gcc's phases change.
+
+Reproduces the Table 7 scenario as a running system rather than an
+offline analysis: a VM executes gcc's 10 phases; before each phase its
+meta-program re-optimises the ``performance^3/area`` metric and, when
+worthwhile, asks the hypervisor to resize the VCore - paying 10 000
+cycles for cache changes and 500 cycles for Slice-only changes.
+
+Run with::
+
+    python examples/phase_adaptive_vm.py
+"""
+
+from repro.area import AreaModel
+from repro.cloud import Fabric, Hypervisor
+from repro.cloud.vm import VCoreSpec, VMSpec
+from repro.economics.efficiency import PERF3_PER_AREA
+from repro.perfmodel import AnalyticModel, CACHE_GRID_KB, SLICE_GRID
+from repro.trace.phases import gcc_phases
+
+
+def best_config_for(profile, model, area_model):
+    """Exhaustive perf^3/area search for one phase profile."""
+    return max(
+        ((c, s) for c in CACHE_GRID_KB for s in SLICE_GRID),
+        key=lambda cfg: PERF3_PER_AREA.value(
+            model.performance(profile, cfg[0], cfg[1]),
+            area_model.vcore_area(cfg[0], cfg[1], include_uncore=True),
+        ),
+    )
+
+
+def main() -> None:
+    model = AnalyticModel()
+    area_model = AreaModel()
+    hypervisor = Hypervisor(Fabric(width=32, height=16))
+
+    phased = gcc_phases(instructions_per_phase=2_000_000)
+    first_cfg = best_config_for(phased.phases[0].profile, model, area_model)
+    vm = hypervisor.place(
+        VMSpec.uniform(1, slices_per_vcore=first_cfg[1],
+                       cache_kb_per_vcore=first_cfg[0])
+    )
+    assert vm is not None
+
+    print("phase  config (cache, slices)   perf (IPC)  reconfig cycles")
+    total_cycles = 0.0
+    total_reconfig = 0
+    current = first_cfg
+    for phase in phased:
+        target = best_config_for(phase.profile, model, area_model)
+        reconfig_cycles = 0
+        if target != current:
+            cost = hypervisor.resize_vcore(
+                vm.vm_id, 0,
+                VCoreSpec(num_slices=target[1], l2_cache_kb=target[0]),
+            )
+            reconfig_cycles = cost.cycles
+            current = target
+        perf = model.performance(phase.profile, current[0], current[1])
+        phase_cycles = phase.instructions / perf
+        total_cycles += phase_cycles + reconfig_cycles
+        total_reconfig += reconfig_cycles
+        print(f"{phase.index + 1:5}  ({int(current[0]):5d} KB, "
+              f"{current[1]} Slices)      {perf:8.3f}  {reconfig_cycles:10d}")
+
+    # Static comparison: the best single configuration for all phases.
+    static = max(
+        ((c, s) for c in CACHE_GRID_KB for s in SLICE_GRID),
+        key=lambda cfg: sum(
+            PERF3_PER_AREA.value(
+                model.performance(p.profile, cfg[0], cfg[1]),
+                area_model.vcore_area(cfg[0], cfg[1],
+                                      include_uncore=True),
+            )
+            for p in phased
+        ),
+    )
+    static_cycles = sum(
+        p.instructions / model.performance(p.profile, static[0], static[1])
+        for p in phased
+    )
+    print(f"\ndynamic: {total_cycles:,.0f} cycles "
+          f"({total_reconfig:,} spent reconfiguring)")
+    print(f"static {static}: {static_cycles:,.0f} cycles")
+    print(f"dynamic speedup: {static_cycles / total_cycles:.3f}x")
+    print(f"hypervisor stats: {hypervisor.stats.reconfigurations} "
+          f"reconfigurations")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Quickstart: model a VCore, pick a configuration, and simulate it.
+
+Walks the three layers of the library in ~40 lines:
+
+1. the analytic performance model ``P(c, s)``;
+2. the economic optimiser (what should a customer buy?);
+3. the cycle-level simulator (run a synthetic trace on that VCore).
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    MARKET2,
+    UTILITY2,
+    AnalyticModel,
+    UtilityOptimizer,
+    make_workload,
+    simulate,
+)
+
+
+def main() -> None:
+    benchmark = "gcc"
+
+    # --- 1. performance model: how fast is gcc on different VCores? ---
+    model = AnalyticModel()
+    print(f"P(c, s) for {benchmark}:")
+    for cache_kb, slices in ((128, 1), (128, 4), (1024, 4), (1024, 8)):
+        perf = model.performance(benchmark, cache_kb, slices)
+        print(f"  {slices} Slices + {cache_kb:5d} KB L2 -> {perf:.3f} IPC")
+
+    # --- 2. economics: what should a Utility2 customer buy? ---
+    optimizer = UtilityOptimizer(model=model)
+    choice = optimizer.best(benchmark, UTILITY2, MARKET2)
+    print(
+        f"\nA {UTILITY2.name} customer with budget "
+        f"{optimizer.budget:.0f} buys {choice.vcores:.2f} VCores of "
+        f"({choice.slices} Slices, {choice.cache_kb:.0f} KB L2) "
+        f"for utility {choice.utility:.3f}"
+    )
+
+    # --- 3. simulator: run that configuration cycle by cycle ---
+    warmup, trace = make_workload(benchmark, length=3000, seed=42)
+    result = simulate(
+        trace,
+        num_slices=choice.slices,
+        l2_cache_kb=choice.cache_kb,
+        warmup_addresses=warmup,
+    )
+    stats = result.stats
+    print(
+        f"\nSSim: {stats.committed} instructions in {stats.cycles} cycles "
+        f"(IPC {stats.ipc:.3f}, branch accuracy "
+        f"{stats.branch_accuracy:.3f}, L2 miss rate "
+        f"{stats.l2_miss_rate:.3f})"
+    )
+
+
+if __name__ == "__main__":
+    main()

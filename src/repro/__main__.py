@@ -1,0 +1,139 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``experiments``            run every table/figure runner
+``experiment <name>``      run one artefact (fig12, tab6, ...)
+``simulate``               one SSim run with explicit parameters
+``optimize``               one customer's utility-maximising purchase
+``list``                   benchmarks, utilities, markets, experiments
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.simulator import simulate
+from repro.economics.market import STANDARD_MARKETS
+from repro.economics.optimizer import UtilityOptimizer
+from repro.economics.utility import STANDARD_UTILITIES
+from repro.trace import all_benchmarks
+from repro.trace.generator import make_workload
+
+_EXPERIMENTS = {
+    "fig10": "area_decomposition",
+    "fig11": "area_decomposition",
+    "fig12": "scalability",
+    "fig13": "cache_sensitivity",
+    "tab4": "optima",
+    "fig14": "utility_surfaces",
+    "tab6": "markets",
+    "fig15": "static_comparison",
+    "fig16": "hetero_comparison",
+    "fig17": "datacenter_mix",
+    "tab7": "phases",
+    "tab8": "taxonomy",
+    "parsec": "parsec_multivcore",
+    "energy": "energy_delay",
+    "ablation-son": "ablation_son",
+}
+
+
+def _cmd_experiments(_args) -> int:
+    from repro.experiments import runner
+    return runner.main()
+
+
+def _cmd_experiment(args) -> int:
+    module_name = _EXPERIMENTS.get(args.name)
+    if module_name is None:
+        print(f"unknown experiment {args.name!r}; known: "
+              f"{', '.join(sorted(_EXPERIMENTS))}", file=sys.stderr)
+        return 2
+    import importlib
+    module = importlib.import_module(f"repro.experiments.{module_name}")
+    module.main()
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    warmup, trace = make_workload(args.benchmark, args.length,
+                                  seed=args.seed)
+    result = simulate(trace, num_slices=args.slices,
+                      l2_cache_kb=args.cache_kb, warmup_addresses=warmup)
+    print(f"{args.benchmark} on ({args.slices} Slices, "
+          f"{args.cache_kb:.0f} KB L2):")
+    for key, value in result.stats.summary().items():
+        print(f"  {key:16} {value}")
+    return 0
+
+
+def _cmd_optimize(args) -> int:
+    utilities = {u.name: u for u in STANDARD_UTILITIES}
+    markets = {m.name: m for m in STANDARD_MARKETS}
+    optimizer = UtilityOptimizer(budget=args.budget)
+    choice = optimizer.best(args.benchmark, utilities[args.utility],
+                            markets[args.market])
+    print(f"{args.benchmark} / {args.utility} / {args.market} "
+          f"(budget {args.budget:.0f}):")
+    print(f"  buy {choice.vcores:.2f} VCores of "
+          f"({choice.slices} Slices, {choice.cache_kb:.0f} KB L2)")
+    print(f"  performance {choice.performance:.3f} IPC, "
+          f"utility {choice.utility:.3f}")
+    return 0
+
+
+def _cmd_list(_args) -> int:
+    print("benchmarks :", ", ".join(all_benchmarks()))
+    print("utilities  :", ", ".join(u.name for u in STANDARD_UTILITIES))
+    print("markets    :", ", ".join(m.name for m in STANDARD_MARKETS))
+    print("experiments:", ", ".join(sorted(_EXPERIMENTS)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="The Sharing Architecture (ASPLOS 2014) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("experiments",
+                   help="run every table/figure").set_defaults(
+        func=_cmd_experiments)
+
+    one = sub.add_parser("experiment", help="run one artefact")
+    one.add_argument("name", help="fig12, tab6, parsec, ...")
+    one.set_defaults(func=_cmd_experiment)
+
+    sim = sub.add_parser("simulate", help="one SSim run")
+    sim.add_argument("--benchmark", default="gcc",
+                     choices=all_benchmarks())
+    sim.add_argument("--slices", type=int, default=2)
+    sim.add_argument("--cache-kb", type=float, default=256.0)
+    sim.add_argument("--length", type=int, default=3000)
+    sim.add_argument("--seed", type=int, default=0)
+    sim.set_defaults(func=_cmd_simulate)
+
+    opt = sub.add_parser("optimize", help="one customer's best purchase")
+    opt.add_argument("--benchmark", default="gcc",
+                     choices=all_benchmarks())
+    opt.add_argument("--utility", default="Utility2",
+                     choices=[u.name for u in STANDARD_UTILITIES])
+    opt.add_argument("--market", default="Market2",
+                     choices=[m.name for m in STANDARD_MARKETS])
+    opt.add_argument("--budget", type=float, default=24.0)
+    opt.set_defaults(func=_cmd_optimize)
+
+    sub.add_parser("list", help="list names").set_defaults(func=_cmd_list)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""Area model.
+
+The paper implements a Slice in synthesizable Verilog, places and routes
+it with the Synopsys flow in TSMC 45 nm, and sizes caches with CACTI
+(Section 5.1).  Figures 10 and 11 publish the resulting area decomposition
+with and without a 64 KB L2 bank.  We cannot run a Verilog flow here, so
+this package encodes the published decomposition directly and supplies a
+CACTI-like analytic estimator for cache arrays; all downstream economics
+consume only the *relative* areas, which is exactly what the paper's
+Figures 10-11 provide.
+"""
+
+from repro.area.components import (
+    SliceComponent,
+    SHARING_OVERHEAD_COMPONENTS,
+    FIG10_PERCENTAGES,
+)
+from repro.area.cacti import CactiLite
+from repro.area.model import AreaModel
+
+__all__ = [
+    "SliceComponent",
+    "SHARING_OVERHEAD_COMPONENTS",
+    "FIG10_PERCENTAGES",
+    "CactiLite",
+    "AreaModel",
+]

@@ -1,0 +1,48 @@
+"""CACTI-like analytic cache area estimator.
+
+The paper sizes caches with CACTI 6.0 at the 45 nm node (Section 5.1).
+CACTI itself is a large C++ tool; for the relative-area purposes of this
+reproduction a first-order model suffices: SRAM array area scales linearly
+with capacity, tag/peripheral overhead scales with the number of lines and
+associativity, and a fixed per-array overhead covers decoders and sense
+amplifiers.  The constants are chosen so that a 64 KB 4-way array lands
+near the published relationship of Figure 11 (a 64 KB L2 bank is ~35% of
+a Slice-plus-bank tile, i.e. ~0.54 Slice areas).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CactiLite:
+    """First-order 45 nm SRAM area model (areas in mm^2)."""
+
+    #: Data-array density: mm^2 per KB of SRAM at 45 nm.
+    mm2_per_kb: float = 0.0038
+    #: Tag + comparator area per way per set (mm^2).
+    mm2_per_way_set: float = 1.1e-6
+    #: Fixed peripheral overhead per array (decoders, sense amps, mm^2).
+    fixed_overhead_mm2: float = 0.012
+    line_bytes: int = 64
+
+    def area_mm2(self, size_kb: float, assoc: int = 4) -> float:
+        """Total array area for a ``size_kb`` KB, ``assoc``-way cache."""
+        if size_kb < 0:
+            raise ValueError("cache size cannot be negative")
+        if assoc < 1:
+            raise ValueError("associativity must be >= 1")
+        if size_kb == 0:
+            return 0.0
+        num_lines = size_kb * 1024 / self.line_bytes
+        num_sets = max(1.0, num_lines / assoc)
+        data = size_kb * self.mm2_per_kb
+        tags = num_sets * assoc * self.mm2_per_way_set
+        return data + tags + self.fixed_overhead_mm2
+
+    def access_energy_nj(self, size_kb: float) -> float:
+        """First-order access energy (nJ); sub-linear in capacity."""
+        if size_kb <= 0:
+            return 0.0
+        return 0.02 + 0.004 * (size_kb ** 0.5)

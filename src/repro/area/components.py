@@ -1,0 +1,81 @@
+"""Slice component inventory and published area fractions.
+
+Paper Figure 10 ("Area Decomposition without L2 cache") gives the share of
+each Slice component in the place-and-routed 45 nm design.  The *Sharing
+Overhead* called out in the figure (8%) is the aggregate of the structures
+that exist only because Slices can be composed: the three network routers,
+the global-rename logic, the second (local) rename stage, the waitlist,
+the inter-Slice scoreboard, and the added pipeline registers.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, FrozenSet
+
+
+class SliceComponent(enum.Enum):
+    L1_ICACHE = "l1_icache"
+    L1_DCACHE = "l1_dcache"
+    INSTRUCTION_BUFFER = "instruction_buffer"
+    LSQ = "lsq"
+    REGISTER_FILE = "register_file"
+    ROB = "rob"
+    ISSUE_WINDOW = "issue_window"
+    BTB_PREDICTOR = "btb_predictor"
+    MULTIPLIER = "multiplier"
+    ALUS = "alus"
+    ROUTERS = "routers"
+    LOCAL_RENAME = "local_rename"
+    GLOBAL_RENAME = "global_rename"
+    WAITLIST = "waitlist"
+    SCOREBOARD = "scoreboard"
+    ADDED_PIPELINE = "added_pipeline"
+
+
+#: Published Figure 10 percentages (Slice only, no L2 bank).  The paper
+#: rounds to integers; ADDED_PIPELINE shows as 0% and is carried here as a
+#: small non-zero share so the component exists in the accounting.
+FIG10_PERCENTAGES: Dict[SliceComponent, float] = {
+    SliceComponent.L1_ICACHE: 24.0,
+    SliceComponent.L1_DCACHE: 24.0,
+    SliceComponent.INSTRUCTION_BUFFER: 11.0,
+    SliceComponent.LSQ: 8.0,
+    SliceComponent.REGISTER_FILE: 6.0,
+    SliceComponent.ROB: 6.0,
+    SliceComponent.ISSUE_WINDOW: 4.0,
+    SliceComponent.BTB_PREDICTOR: 4.0,
+    SliceComponent.MULTIPLIER: 2.0,
+    SliceComponent.ALUS: 1.0,
+    SliceComponent.ROUTERS: 2.0,
+    SliceComponent.LOCAL_RENAME: 2.0,
+    SliceComponent.GLOBAL_RENAME: 1.0,
+    SliceComponent.WAITLIST: 1.0,
+    SliceComponent.SCOREBOARD: 2.0,
+    SliceComponent.ADDED_PIPELINE: 0.3,
+}
+
+#: Components that exist only to support sub-core composition; their sum is
+#: the paper's "Sharing Overhead" (~8% without L2, ~5% with a 64 KB bank).
+SHARING_OVERHEAD_COMPONENTS: FrozenSet[SliceComponent] = frozenset(
+    {
+        SliceComponent.ROUTERS,
+        SliceComponent.LOCAL_RENAME,
+        SliceComponent.GLOBAL_RENAME,
+        SliceComponent.WAITLIST,
+        SliceComponent.SCOREBOARD,
+        SliceComponent.ADDED_PIPELINE,
+    }
+)
+
+
+def normalized_fractions() -> Dict[SliceComponent, float]:
+    """Figure 10 percentages normalised to sum exactly to 1.0."""
+    total = sum(FIG10_PERCENTAGES.values())
+    return {c: p / total for c, p in FIG10_PERCENTAGES.items()}
+
+
+def sharing_overhead_fraction() -> float:
+    """Fraction of Slice area that is Sharing-Architecture overhead."""
+    fracs = normalized_fractions()
+    return sum(fracs[c] for c in SHARING_OVERHEAD_COMPONENTS)

@@ -1,0 +1,158 @@
+"""First-order energy model for VCore configurations.
+
+The paper frames its performance-preference metrics through the energy
+literature's Energy*Delay^2 / Energy*Delay^3 lens (Section 2.2) and
+synthesises power along with area from the 45 nm flow (Section 5.1).
+This module provides the matching energy side: per-event energies for
+the major structures (scaled from the CACTI-like capacities), static
+leakage proportional to area, and a per-instruction energy estimate for
+a VCore configuration driven by the same profile statistics the
+performance model uses.
+
+Energies are in nanojoules; absolute values are representative of a
+45 nm node, but as with area only *relative* comparisons are consumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
+
+from repro.area.cacti import CactiLite
+from repro.area.model import AreaModel
+from repro.perfmodel.model import AnalyticModel, l2_mean_latency
+from repro.trace.profiles import BenchmarkProfile, get_profile
+
+ProfileLike = Union[str, BenchmarkProfile]
+
+
+@dataclass(frozen=True)
+class EnergyParameters:
+    """Per-event energies (nJ) and leakage density at 45 nm."""
+
+    alu_op_nj: float = 0.010
+    register_access_nj: float = 0.004
+    rename_nj: float = 0.006
+    issue_wakeup_nj: float = 0.008
+    #: Energy per hop per operand on the switched networks.
+    network_hop_nj: float = 0.005
+    dram_access_nj: float = 2.0
+    #: Static leakage per mm^2 per cycle at a nominal 1 GHz.
+    leakage_nj_per_mm2_cycle: float = 0.0004
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Per-instruction energy components (nJ)."""
+
+    core: float
+    l1: float
+    l2: float
+    memory: float
+    network: float
+    leakage: float
+
+    @property
+    def total(self) -> float:
+        return (self.core + self.l1 + self.l2 + self.memory
+                + self.network + self.leakage)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "core": self.core,
+            "l1": self.l1,
+            "l2": self.l2,
+            "memory": self.memory,
+            "network": self.network,
+            "leakage": self.leakage,
+        }
+
+
+class EnergyModel:
+    """Energy per instruction and energy-delay metrics for VCores."""
+
+    def __init__(self, params: Optional[EnergyParameters] = None,
+                 area_model: Optional[AreaModel] = None,
+                 perf_model: Optional[AnalyticModel] = None):
+        self.params = params or EnergyParameters()
+        self.area_model = area_model or AreaModel()
+        self.perf_model = perf_model or AnalyticModel()
+        self.cacti = self.area_model.cacti
+
+    # ------------------------------------------------------------------
+    # energy per instruction
+    # ------------------------------------------------------------------
+
+    def energy_per_instruction(self, profile: ProfileLike, cache_kb: float,
+                               slices: int) -> EnergyBreakdown:
+        """Average energy per committed instruction (nJ)."""
+        prof = profile if isinstance(profile, BenchmarkProfile) \
+            else get_profile(profile)
+        if slices < 1 or cache_kb < 0:
+            raise ValueError("invalid configuration")
+        p = self.params
+
+        mem_frac = prof.frac_load + prof.frac_store
+        # Core: execute + rename (two stages) + wakeup + register traffic.
+        core = (p.alu_op_nj + 2 * p.rename_nj + p.issue_wakeup_nj
+                + 2 * p.register_access_nj)
+        # Multi-Slice VCores pay the rename broadcast and remote operand
+        # traffic per crossing dependence edge.
+        cross_fraction = (prof.comm_sens * (1.0 - 1.0 / slices)
+                          if slices > 1 else 0.0)
+        mean_hops = (slices + 1) / 3.0 if slices > 1 else 0.0
+        network = cross_fraction * mean_hops * p.network_hop_nj * 2
+
+        # L1: every memory op plus every fetch pair touches an L1 array.
+        l1_access = self.cacti.access_energy_nj(16)
+        l1 = mem_frac * l1_access + 0.5 * l1_access  # data + instruction
+
+        # L2: L1 misses travel hops to the home bank and read it.
+        l1_miss_rate = prof.l1_mpki / 1000.0
+        bank_access = self.cacti.access_energy_nj(64)
+        l2_hops = max(0.0, (l2_mean_latency(cache_kb) - 4.0) / 2.0)
+        l2 = l1_miss_rate * (bank_access + l2_hops * p.network_hop_nj) \
+            if cache_kb > 0 else 0.0
+
+        # DRAM: L2 misses (or everything, with no L2).
+        miss = prof.l2_miss_fraction(cache_kb)
+        memory = l1_miss_rate * miss * p.dram_access_nj
+
+        # Leakage: area burns every cycle; amortise by IPC.
+        ipc = self.perf_model.performance(prof, cache_kb, slices)
+        area = self.area_model.vcore_area(cache_kb, slices)
+        leakage = area * p.leakage_nj_per_mm2_cycle / max(ipc, 1e-9)
+
+        return EnergyBreakdown(core=core, l1=l1, l2=l2, memory=memory,
+                               network=network, leakage=leakage)
+
+    # ------------------------------------------------------------------
+    # energy-delay metrics
+    # ------------------------------------------------------------------
+
+    def energy_delay(self, profile: ProfileLike, cache_kb: float,
+                     slices: int, delay_exponent: int = 1) -> float:
+        """``E * D^n`` per instruction (delay = 1 / IPC in cycles).
+
+        ``n = 2`` and ``n = 3`` are the Energy*Delay^2 / Energy*Delay^3
+        metrics the paper's Section 2.2 draws its utility analogy from.
+        """
+        if delay_exponent < 0:
+            raise ValueError("delay exponent cannot be negative")
+        energy = self.energy_per_instruction(profile, cache_kb, slices).total
+        ipc = self.perf_model.performance(profile, cache_kb, slices)
+        delay = 1.0 / ipc
+        return energy * (delay ** delay_exponent)
+
+    def best_config(self, profile: ProfileLike, delay_exponent: int = 2,
+                    cache_grid=None, slice_grid=None):
+        """The ``E*D^n``-minimising configuration on the standard grid."""
+        from repro.perfmodel.model import CACHE_GRID_KB, SLICE_GRID
+        cache_grid = cache_grid or CACHE_GRID_KB
+        slice_grid = slice_grid or SLICE_GRID
+        return min(
+            ((c, s) for c in cache_grid for s in slice_grid),
+            key=lambda cfg: self.energy_delay(
+                profile, cfg[0], cfg[1], delay_exponent
+            ),
+        )

@@ -1,0 +1,25 @@
+"""Comparison baselines.
+
+The paper evaluates the Sharing Architecture against (a) the best static
+fixed multicore (Figure 15), (b) a heterogeneous multicore tuned per
+utility function (Figure 16), and (c) a datacenter built from a static
+mix of big and small cores (Figure 17, following Guevara et al. [18]).
+"""
+
+from repro.baselines.static import StaticFixedArchitecture
+from repro.baselines.heterogeneous import (
+    CoreType,
+    HeterogeneousDatacenter,
+    MixPoint,
+    BIG_CORE,
+    SMALL_CORE,
+)
+
+__all__ = [
+    "StaticFixedArchitecture",
+    "CoreType",
+    "HeterogeneousDatacenter",
+    "MixPoint",
+    "BIG_CORE",
+    "SMALL_CORE",
+]

@@ -1,0 +1,66 @@
+"""Static fixed multicore baseline.
+
+Today's IaaS substrate: every core has the same, fabrication-time-fixed
+micro-architecture.  Expressed in Sharing Architecture terms, it is a
+single ``(cache_kb, slices)`` point that every customer must use.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.economics.market import MARKET2, Market
+from repro.economics.optimizer import UtilityOptimizer
+from repro.economics.utility import UtilityFunction
+from repro.perfmodel.model import AnalyticModel
+
+
+@dataclass(frozen=True)
+class StaticFixedArchitecture:
+    """One frozen core configuration offered to all customers."""
+
+    cache_kb: float
+    slices: int
+    name: str = "static-fixed"
+
+    def __post_init__(self) -> None:
+        if self.cache_kb < 0 or not 1 <= self.slices <= 8:
+            raise ValueError("invalid static configuration")
+
+    def utility_for(self, benchmark: str, utility: UtilityFunction,
+                    market: Market = MARKET2,
+                    optimizer: Optional[UtilityOptimizer] = None) -> float:
+        """Utility a customer obtains when forced onto this core."""
+        optimizer = optimizer or UtilityOptimizer()
+        return optimizer.utility_at(
+            benchmark, utility, market, self.cache_kb, self.slices
+        )
+
+    @classmethod
+    def best_across(cls, benchmarks: Sequence[str],
+                    utilities: Sequence[UtilityFunction],
+                    market: Market = MARKET2,
+                    optimizer: Optional[UtilityOptimizer] = None
+                    ) -> "StaticFixedArchitecture":
+        """The GME-maximising single configuration (Figure 15 reference)."""
+        optimizer = optimizer or UtilityOptimizer()
+        best_cfg: Optional[Tuple[float, int]] = None
+        best_score = -math.inf
+        for cache_kb in optimizer.cache_grid:
+            for slices in optimizer.slice_grid:
+                utils = [
+                    optimizer.utility_at(b, u, market, cache_kb, slices)
+                    for b in benchmarks
+                    for u in utilities
+                ]
+                if any(v <= 0 for v in utils):
+                    continue
+                score = sum(math.log(v) for v in utils) / len(utils)
+                if score > best_score:
+                    best_score = score
+                    best_cfg = (cache_kb, slices)
+        assert best_cfg is not None
+        return cls(cache_kb=best_cfg[0], slices=best_cfg[1],
+                   name="best-static-fixed")

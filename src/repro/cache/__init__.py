@@ -1,0 +1,34 @@
+"""Cache hierarchy substrate.
+
+Models the Sharing Architecture memory system (paper Sections 3.5-3.6 and
+Table 3): per-Slice 16 KB 2-way L1 I/D caches with a 3-cycle hit, a sea of
+64 KB 4-way L2 Cache Banks reachable over the switched network with a hit
+delay of ``distance * 2 + 4``, low-order cache-line interleaving across
+banks, non-blocking misses, a small store buffer per Slice, and an MSI
+directory at the L2 for inter-VCore coherence.
+"""
+
+from repro.cache.setassoc import SetAssociativeCache, AccessResult
+from repro.cache.l1 import L1Cache, L1_HIT_LATENCY
+from repro.cache.l2 import L2Bank, BankedL2, l2_hit_latency
+from repro.cache.storebuffer import StoreBuffer
+from repro.cache.mshr import MSHRFile
+from repro.cache.coherence import Directory, CoherenceState, CoherenceStats
+from repro.cache.hierarchy import CacheHierarchy, MemoryAccessOutcome
+
+__all__ = [
+    "SetAssociativeCache",
+    "AccessResult",
+    "L1Cache",
+    "L1_HIT_LATENCY",
+    "L2Bank",
+    "BankedL2",
+    "l2_hit_latency",
+    "StoreBuffer",
+    "MSHRFile",
+    "Directory",
+    "CoherenceState",
+    "CoherenceStats",
+    "CacheHierarchy",
+    "MemoryAccessOutcome",
+]

@@ -1,0 +1,89 @@
+"""Miss Status Holding Registers: non-blocking cache misses.
+
+Paper Section 3.5: "the Sharing cache subsystem uses non-blocking caches";
+Table 2 bounds in-flight loads at 8 per Slice.  An MSHR file tracks
+outstanding misses, merges secondary misses to the same line, and refuses
+new primary misses when full (back-pressuring the issue stage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: Paper Table 2: Maximum In-flight Loads.
+DEFAULT_MSHR_ENTRIES = 8
+
+
+@dataclass
+class MSHREntry:
+    """One outstanding miss: the line and the instructions waiting on it."""
+
+    line: int
+    fill_cycle: int
+    waiters: List[int] = field(default_factory=list)
+
+
+class MSHRFile:
+    """Tracks outstanding misses for one Slice's L1D."""
+
+    def __init__(self, capacity: int = DEFAULT_MSHR_ENTRIES, line_size: int = 64):
+        if capacity < 1:
+            raise ValueError("MSHR file needs capacity >= 1")
+        self.capacity = capacity
+        self.line_size = line_size
+        self._entries: Dict[int, MSHREntry] = {}
+        self.primary_misses = 0
+        self.secondary_merges = 0
+        self.full_stalls = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def lookup(self, address: int) -> Optional[MSHREntry]:
+        return self._entries.get(address // self.line_size)
+
+    def allocate(self, address: int, fill_cycle: int,
+                 waiter_seq: int) -> Optional[MSHREntry]:
+        """Register a miss.
+
+        Returns the entry, merging into an existing one for the same line
+        (a *secondary* miss costs no new entry and inherits the earlier
+        fill time).  Returns ``None`` when a new entry is needed but the
+        file is full: the access must retry.
+        """
+        line = address // self.line_size
+        entry = self._entries.get(line)
+        if entry is not None:
+            entry.waiters.append(waiter_seq)
+            self.secondary_merges += 1
+            return entry
+        if self.full:
+            self.full_stalls += 1
+            return None
+        entry = MSHREntry(line=line, fill_cycle=fill_cycle, waiters=[waiter_seq])
+        self._entries[line] = entry
+        self.primary_misses += 1
+        return entry
+
+    def earliest_fill(self) -> Optional[int]:
+        """Cycle at which the oldest outstanding miss fills, if any."""
+        if not self._entries:
+            return None
+        return min(e.fill_cycle for e in self._entries.values())
+
+    def retire_filled(self, now: int) -> List[MSHREntry]:
+        """Remove and return all entries whose fill has arrived by ``now``."""
+        done = [e for e in self._entries.values() if e.fill_cycle <= now]
+        for entry in done:
+            del self._entries[entry.line]
+        return done
+
+    def flush(self) -> int:
+        n = len(self._entries)
+        self._entries.clear()
+        return n

@@ -1,0 +1,166 @@
+"""Generic set-associative cache with true-LRU replacement.
+
+The building block for every cache in the hierarchy.  Tracks tags only
+(the simulator never needs data values), plus dirty bits so reconfiguration
+flush costs can be charged (paper Section 3.8: reallocating an L2 bank
+requires flushing it to main memory).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+def _is_power_of_two(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of a cache access."""
+
+    hit: bool
+    evicted_line: Optional[int] = None
+    evicted_dirty: bool = False
+    writeback: bool = False
+
+    @property
+    def miss(self) -> bool:
+        return not self.hit
+
+
+class SetAssociativeCache:
+    """Tag-only set-associative cache model.
+
+    Parameters follow paper Table 3 conventions: sizes in bytes, 64-byte
+    lines, per-level associativity.
+    """
+
+    def __init__(self, size_bytes: int, line_size: int = 64, assoc: int = 2,
+                 name: str = "cache"):
+        if size_bytes <= 0:
+            raise ValueError("cache size must be positive")
+        if not _is_power_of_two(line_size):
+            raise ValueError("line size must be a power of two")
+        if assoc < 1:
+            raise ValueError("associativity must be >= 1")
+        num_lines = size_bytes // line_size
+        if num_lines < assoc:
+            raise ValueError(
+                f"{name}: {size_bytes}B cache cannot hold {assoc} ways"
+            )
+        if num_lines % assoc:
+            raise ValueError(f"{name}: lines ({num_lines}) not divisible by ways")
+        self.name = name
+        self.size_bytes = size_bytes
+        self.line_size = line_size
+        self.assoc = assoc
+        self.num_sets = num_lines // assoc
+        # set index -> OrderedDict {line_addr: dirty}; order = LRU..MRU
+        self._sets: Dict[int, "OrderedDict[int, bool]"] = {}
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    def _set_index(self, line: int) -> int:
+        return line % self.num_sets
+
+    def line_of(self, address: int) -> int:
+        return address // self.line_size
+
+    def access(self, address: int, is_write: bool = False) -> AccessResult:
+        """Access ``address``; allocate on miss; returns hit/eviction info."""
+        line = self.line_of(address)
+        idx = self._set_index(line)
+        ways = self._sets.setdefault(idx, OrderedDict())
+        if line in ways:
+            self.hits += 1
+            dirty = ways.pop(line) or is_write
+            ways[line] = dirty  # move to MRU
+            return AccessResult(hit=True)
+        self.misses += 1
+        evicted_line = None
+        evicted_dirty = False
+        if len(ways) >= self.assoc:
+            evicted_line, evicted_dirty = ways.popitem(last=False)
+            if evicted_dirty:
+                self.writebacks += 1
+        ways[line] = is_write
+        return AccessResult(
+            hit=False,
+            evicted_line=evicted_line,
+            evicted_dirty=evicted_dirty,
+            writeback=evicted_dirty,
+        )
+
+    def prefetch(self, address: int) -> None:
+        """Install a line without touching hit/miss statistics.
+
+        Used by the L1I next-line predictor (paper Section 3.5): the
+        prefetcher runs ahead of fetch, so its fills are not demand
+        accesses.
+        """
+        line = self.line_of(address)
+        idx = self._set_index(line)
+        ways = self._sets.setdefault(idx, OrderedDict())
+        if line in ways:
+            dirty = ways.pop(line)
+            ways[line] = dirty
+            return
+        if len(ways) >= self.assoc:
+            _, evicted_dirty = ways.popitem(last=False)
+            if evicted_dirty:
+                self.writebacks += 1
+        ways[line] = False
+
+    def probe(self, address: int) -> bool:
+        """Check residency without touching LRU state or statistics."""
+        line = self.line_of(address)
+        ways = self._sets.get(self._set_index(line))
+        return bool(ways) and line in ways
+
+    def invalidate(self, address: int) -> bool:
+        """Drop a line (coherence invalidation); returns whether it was dirty."""
+        line = self.line_of(address)
+        ways = self._sets.get(self._set_index(line))
+        if ways and line in ways:
+            return ways.pop(line)
+        return False
+
+    def flush(self) -> int:
+        """Empty the cache; returns the number of dirty lines written back.
+
+        Models the reconfiguration flush of paper Section 3.8.
+        """
+        dirty = sum(
+            1 for ways in self._sets.values() for d in ways.values() if d
+        )
+        self.writebacks += dirty
+        self._sets.clear()
+        return dirty
+
+    def reset_counters(self) -> None:
+        """Zero the statistics counters (content is kept).
+
+        Used after functional cache warmup so steady-state miss rates are
+        reported for the timed region only.
+        """
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def resident_lines(self) -> List[int]:
+        return [line for ways in self._sets.values() for line in ways]
+
+    def occupancy(self) -> int:
+        return sum(len(ways) for ways in self._sets.values())

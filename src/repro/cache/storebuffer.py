@@ -1,0 +1,68 @@
+"""Per-Slice store buffer.
+
+Paper Table 2 gives each Slice a small (8-entry) store buffer; together
+with non-blocking caches it prevents the core from stalling on store
+traffic (Section 3.5).  Stores drain to the cache in FIFO order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional
+
+#: Paper Table 2: Store Buffer Size.
+DEFAULT_STORE_BUFFER_SIZE = 8
+
+
+@dataclass(frozen=True)
+class BufferedStore:
+    """A committed store waiting to drain to the memory system."""
+
+    address: int
+    commit_cycle: int
+
+
+class StoreBuffer:
+    """FIFO buffer of committed stores draining one per cycle."""
+
+    def __init__(self, capacity: int = DEFAULT_STORE_BUFFER_SIZE):
+        if capacity < 1:
+            raise ValueError("store buffer needs capacity >= 1")
+        self.capacity = capacity
+        self._entries: Deque[BufferedStore] = deque()
+        self.total_inserted = 0
+        self.full_stalls = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def push(self, address: int, commit_cycle: int) -> bool:
+        """Insert a committed store; ``False`` (stall) when full."""
+        if self.full:
+            self.full_stalls += 1
+            return False
+        self._entries.append(BufferedStore(address, commit_cycle))
+        self.total_inserted += 1
+        return True
+
+    def drain_one(self, now: int) -> Optional[BufferedStore]:
+        """Pop the oldest store once it has been buffered for a cycle."""
+        if self._entries and self._entries[0].commit_cycle < now:
+            return self._entries.popleft()
+        return None
+
+    def forwards(self, address: int, line_size: int = 64) -> bool:
+        """Would a load to ``address`` hit in the buffer (store forwarding)?"""
+        line = address // line_size
+        return any(s.address // line_size == line for s in self._entries)
+
+    def flush(self) -> int:
+        """Drop all entries (used on VCore teardown); returns count."""
+        n = len(self._entries)
+        self._entries.clear()
+        return n

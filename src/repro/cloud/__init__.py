@@ -1,0 +1,31 @@
+"""IaaS cloud layer: fabric, hypervisor, scheduler, and customer tooling.
+
+The Sharing Architecture targets IaaS providers (paper Sections 1-2, 4):
+a hypervisor running on single-Slice VCores reconfigures the fabric;
+Cloud management software schedules customer VMs onto Slices and Cache
+Banks; customers steer their purchases with meta-programs or auto-tuners.
+"""
+
+from repro.cloud.fabric import Fabric, TileKind, AllocationError
+from repro.cloud.vm import VCoreSpec, VMSpec, VMInstance
+from repro.cloud.hypervisor import Hypervisor
+from repro.cloud.scheduler import CloudScheduler, CustomerRequest, Placement
+from repro.cloud.autotuner import AutoTuner, TuningResult
+from repro.cloud.metaprogram import MetaProgram, PriceQuote
+
+__all__ = [
+    "Fabric",
+    "TileKind",
+    "AllocationError",
+    "VCoreSpec",
+    "VMSpec",
+    "VMInstance",
+    "Hypervisor",
+    "CloudScheduler",
+    "CustomerRequest",
+    "Placement",
+    "AutoTuner",
+    "TuningResult",
+    "MetaProgram",
+    "PriceQuote",
+]

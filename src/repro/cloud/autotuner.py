@@ -1,0 +1,105 @@
+"""Configuration auto-tuner (paper Section 4).
+
+For customers without a performance model: "The auto-tuner would slowly
+search the configuration space by varying the VM instance configuration
+... Such an auto-tuning system would likely require the use of a
+heartbeat or performance feedback."
+
+The tuner hill-climbs over the (cache, Slice) grid using a caller-
+supplied measurement function (a heartbeat: higher is better), so it
+works identically against the analytic model, the cycle-level simulator,
+or - in a real deployment - live application throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.perfmodel.model import CACHE_GRID_KB, SLICE_GRID
+
+#: A heartbeat: maps (cache_kb, slices) to a goodness score.
+MeasureFn = Callable[[float, int], float]
+
+
+@dataclass
+class TuningResult:
+    """Outcome of one auto-tuning run."""
+
+    best_cache_kb: float
+    best_slices: int
+    best_score: float
+    evaluations: int
+    trajectory: List[Tuple[float, int, float]] = field(default_factory=list)
+
+
+class AutoTuner:
+    """Greedy hill climber with restart over the configuration grid."""
+
+    def __init__(self, measure: MeasureFn,
+                 cache_grid: Sequence[float] = CACHE_GRID_KB,
+                 slice_grid: Sequence[int] = SLICE_GRID,
+                 max_evaluations: int = 64):
+        if max_evaluations < 1:
+            raise ValueError("need at least one evaluation")
+        self.measure = measure
+        self.cache_grid = list(cache_grid)
+        self.slice_grid = list(slice_grid)
+        self.max_evaluations = max_evaluations
+        self._cache_index = {c: i for i, c in enumerate(self.cache_grid)}
+        self._slice_index = {s: i for i, s in enumerate(self.slice_grid)}
+
+    def _neighbors(self, cache_kb: float, slices: int
+                   ) -> List[Tuple[float, int]]:
+        ci = self._cache_index[cache_kb]
+        si = self._slice_index[slices]
+        out: List[Tuple[float, int]] = []
+        for dci, dsi in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+            ni, nj = ci + dci, si + dsi
+            if 0 <= ni < len(self.cache_grid) and 0 <= nj < len(self.slice_grid):
+                out.append((self.cache_grid[ni], self.slice_grid[nj]))
+        return out
+
+    def tune(self, start_cache_kb: Optional[float] = None,
+             start_slices: Optional[int] = None) -> TuningResult:
+        """Hill-climb from a starting configuration to a local optimum."""
+        cache_kb = (self.cache_grid[len(self.cache_grid) // 2]
+                    if start_cache_kb is None else start_cache_kb)
+        slices = (self.slice_grid[0]
+                  if start_slices is None else start_slices)
+        if cache_kb not in self._cache_index:
+            raise ValueError(f"start cache {cache_kb} not on the grid")
+        if slices not in self._slice_index:
+            raise ValueError(f"start slices {slices} not on the grid")
+
+        scores: Dict[Tuple[float, int], float] = {}
+
+        def measured(c: float, s: int) -> float:
+            key = (c, s)
+            if key not in scores:
+                scores[key] = self.measure(c, s)
+            return scores[key]
+
+        trajectory: List[Tuple[float, int, float]] = []
+        current_score = measured(cache_kb, slices)
+        trajectory.append((cache_kb, slices, current_score))
+        while len(scores) < self.max_evaluations:
+            candidates = [
+                (measured(c, s), c, s)
+                for c, s in self._neighbors(cache_kb, slices)
+                if len(scores) < self.max_evaluations or (c, s) in scores
+            ]
+            if not candidates:
+                break
+            best_score, best_c, best_s = max(candidates)
+            if best_score <= current_score:
+                break  # local optimum
+            cache_kb, slices, current_score = best_c, best_s, best_score
+            trajectory.append((cache_kb, slices, current_score))
+        return TuningResult(
+            best_cache_kb=cache_kb,
+            best_slices=slices,
+            best_score=current_score,
+            evaluations=len(scores),
+            trajectory=trajectory,
+        )

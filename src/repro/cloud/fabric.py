@@ -1,0 +1,149 @@
+"""The manycore fabric: a 2-D array of Slice and Cache Bank tiles.
+
+Paper Figure 3: Slices and Cache Banks sit on a single switched fabric;
+"a full chip will have 100's of Slices and Cache Banks".  Slices of a
+VCore must be contiguous within a row (operand latency); banks may be
+anywhere, with latency set by Manhattan distance.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.network.topology import Mesh2D
+
+
+class TileKind(enum.Enum):
+    SLICE = "slice"
+    BANK = "bank"
+
+
+class AllocationError(RuntimeError):
+    """The fabric cannot satisfy an allocation request."""
+
+
+@dataclass(frozen=True)
+class TileAssignment:
+    """Who owns a tile."""
+
+    owner: str  # VCore id
+
+
+class Fabric:
+    """A ``width x height`` grid of tiles.
+
+    The default layout alternates slice columns and bank columns, giving
+    a 1:1 Slice:Bank ratio (one Slice to 64 KB); real deployments would
+    choose the mix at fabrication time - but unlike a heterogeneous CMP,
+    the *grouping* remains fully dynamic.
+    """
+
+    def __init__(self, width: int = 16, height: int = 8,
+                 bank_columns: Optional[Sequence[int]] = None):
+        self.mesh = Mesh2D(width=width, height=height)
+        if bank_columns is None:
+            bank_columns = [x for x in range(width) if x % 2 == 1]
+        bank_cols: Set[int] = set(bank_columns)
+        self._kind: Dict[int, TileKind] = {}
+        for node in range(self.mesh.num_nodes):
+            x, _ = self.mesh.coords(node)
+            self._kind[node] = (
+                TileKind.BANK if x in bank_cols else TileKind.SLICE
+            )
+        self._owner: Dict[int, str] = {}
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def kind(self, node: int) -> TileKind:
+        return self._kind[node]
+
+    def owner_of(self, node: int) -> Optional[str]:
+        return self._owner.get(node)
+
+    def is_free(self, node: int) -> bool:
+        return node not in self._owner
+
+    def tiles(self, kind: TileKind) -> List[int]:
+        return [n for n, k in self._kind.items() if k is kind]
+
+    def free_tiles(self, kind: TileKind) -> List[int]:
+        return [n for n in self.tiles(kind) if self.is_free(n)]
+
+    @property
+    def num_slices(self) -> int:
+        return len(self.tiles(TileKind.SLICE))
+
+    @property
+    def num_banks(self) -> int:
+        return len(self.tiles(TileKind.BANK))
+
+    def utilization(self) -> float:
+        return len(self._owner) / self.mesh.num_nodes
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+
+    def find_contiguous_slices(self, count: int) -> Optional[List[int]]:
+        """A horizontal run of ``count`` free Slice tiles, if one exists.
+
+        Contiguity here means consecutive slice tiles of one row - bank
+        columns interleave physically but the slice-to-slice operand
+        distance remains proportional to position, which is what the
+        latency model charges.
+        """
+        if count < 1:
+            raise ValueError("need at least one Slice")
+        for y in range(self.mesh.height):
+            run: List[int] = []
+            for x in range(self.mesh.width):
+                node = self.mesh.node_at(x, y)
+                if self._kind[node] is not TileKind.SLICE:
+                    continue
+                if self.is_free(node):
+                    run.append(node)
+                    if len(run) == count:
+                        return run
+                else:
+                    run = []
+        return None
+
+    def find_nearest_banks(self, anchor: int, count: int) -> List[int]:
+        """The ``count`` free bank tiles nearest to ``anchor``."""
+        free = self.free_tiles(TileKind.BANK)
+        if len(free) < count:
+            raise AllocationError(
+                f"need {count} banks, only {len(free)} free"
+            )
+        free.sort(key=lambda n: self.mesh.distance(anchor, n))
+        return free[:count]
+
+    def claim(self, nodes: Sequence[int], owner: str) -> None:
+        for node in nodes:
+            if not self.is_free(node):
+                raise AllocationError(f"tile {node} already owned")
+        for node in nodes:
+            self._owner[node] = owner
+
+    def release(self, owner: str) -> List[int]:
+        """Free every tile owned by ``owner``; returns the freed nodes."""
+        freed = [n for n, o in self._owner.items() if o == owner]
+        for node in freed:
+            del self._owner[node]
+        return freed
+
+    def owned_by(self, owner: str) -> List[int]:
+        return sorted(n for n, o in self._owner.items() if o == owner)
+
+    def defragment_candidates(self, count: int) -> bool:
+        """Would ``count`` Slices fit after rescheduling (total capacity)?
+
+        Paper Section 3: "fixing fragmentation problems is as simple as
+        rescheduling Slices to VCores" - all Slices are interchangeable,
+        so capacity, not layout, is the real constraint.
+        """
+        return len(self.free_tiles(TileKind.SLICE)) >= count

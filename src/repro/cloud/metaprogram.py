@@ -1,0 +1,91 @@
+"""Customer meta-programs (paper Section 4).
+
+"A basic solution would be for the IaaS user to provide a meta-program
+along with the VM workload ... The meta-program can express the user's
+multi-dimensional utility function as a function of different resources
+and can understand how to react to changing pricing."
+
+A :class:`MetaProgram` binds a benchmark profile and a utility function;
+given a price quote it returns the configuration the customer wants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.economics.market import Market
+from repro.economics.optimizer import UtilityOptimizer
+from repro.economics.utility import UtilityFunction
+from repro.perfmodel.model import AnalyticModel
+
+
+@dataclass(frozen=True)
+class PriceQuote:
+    """Current market prices published by the provider."""
+
+    slice_price: float
+    bank_price: float
+    fixed_cost: float = 8.0
+
+    def as_market(self) -> Market:
+        return Market(
+            name="quoted",
+            slice_price=self.slice_price,
+            bank_price=self.bank_price,
+            fixed_cost=self.fixed_cost,
+        )
+
+
+@dataclass(frozen=True)
+class ConfigurationDecision:
+    """What the meta-program wants to buy at the quoted prices."""
+
+    cache_kb: float
+    slices: int
+    vcores: float
+    expected_utility: float
+
+
+class MetaProgram:
+    """A customer's pricing-aware configuration policy."""
+
+    def __init__(self, benchmark: str, utility: UtilityFunction,
+                 budget: float,
+                 model: Optional[AnalyticModel] = None):
+        if budget <= 0:
+            raise ValueError("budget must be positive")
+        self.benchmark = benchmark
+        self.utility = utility
+        self.budget = budget
+        self.model = model or AnalyticModel()
+
+    def decide(self, quote: PriceQuote) -> ConfigurationDecision:
+        """React to current prices: re-optimise the purchase."""
+        optimizer = UtilityOptimizer(model=self.model, budget=self.budget)
+        choice = optimizer.best(self.benchmark, self.utility,
+                                quote.as_market())
+        return ConfigurationDecision(
+            cache_kb=choice.cache_kb,
+            slices=choice.slices,
+            vcores=choice.vcores,
+            expected_utility=choice.utility,
+        )
+
+    def would_reconfigure(self, current: Tuple[float, int],
+                          quote: PriceQuote,
+                          hysteresis: float = 0.05) -> bool:
+        """Is switching from ``current`` worth it at the new prices?
+
+        A small hysteresis avoids thrashing on the reconfiguration costs
+        of Section 3.8.
+        """
+        decision = self.decide(quote)
+        optimizer = UtilityOptimizer(model=self.model, budget=self.budget)
+        current_utility = optimizer.utility_at(
+            self.benchmark, self.utility, quote.as_market(),
+            current[0], current[1],
+        )
+        if current_utility <= 0:
+            return True
+        return decision.expected_utility > current_utility * (1 + hysteresis)

@@ -1,0 +1,158 @@
+"""Cloud management scheduler (paper Section 4).
+
+"The Cloud management software (scheduler) will have to change in order
+to schedule new resources."  This scheduler accepts customer requests
+(benchmark, utility function, budget), lets each customer's meta-program
+pick its configuration at current prices, places the resulting VMs
+through the hypervisor, and adjusts prices with demand - a simple
+tatonnement toward the market-clearing prices the paper's economic model
+assumes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cloud.fabric import TileKind
+from repro.cloud.hypervisor import Hypervisor
+from repro.cloud.metaprogram import MetaProgram, PriceQuote
+from repro.cloud.vm import VMSpec
+from repro.economics.utility import UtilityFunction
+from repro.perfmodel.model import AnalyticModel
+
+
+@dataclass(frozen=True)
+class CustomerRequest:
+    """One customer's workload and preferences."""
+
+    benchmark: str
+    utility: UtilityFunction
+    budget: float
+
+    def __post_init__(self) -> None:
+        if self.budget <= 0:
+            raise ValueError("budget must be positive")
+
+
+@dataclass
+class Placement:
+    """A satisfied request."""
+
+    request: CustomerRequest
+    vm_id: str
+    cache_kb: float
+    slices: int
+    vcores: int
+    expected_utility: float
+    revenue: float
+
+
+class CloudScheduler:
+    """Market-driven scheduler over one fabric."""
+
+    def __init__(self, hypervisor: Optional[Hypervisor] = None,
+                 slice_price: float = 2.0, bank_price: float = 1.0,
+                 fixed_cost: float = 8.0,
+                 price_sensitivity: float = 0.25,
+                 model: Optional[AnalyticModel] = None):
+        if slice_price <= 0 or bank_price <= 0:
+            raise ValueError("prices must be positive")
+        if not 0 <= price_sensitivity < 1:
+            raise ValueError("price sensitivity must be in [0, 1)")
+        self.hypervisor = hypervisor or Hypervisor()
+        self.slice_price = slice_price
+        self.bank_price = bank_price
+        self.fixed_cost = fixed_cost
+        self.price_sensitivity = price_sensitivity
+        self.model = model or AnalyticModel()
+        self.placements: List[Placement] = []
+        self.rejected: List[CustomerRequest] = []
+
+    # ------------------------------------------------------------------
+    # pricing
+    # ------------------------------------------------------------------
+
+    def quote(self) -> PriceQuote:
+        return PriceQuote(
+            slice_price=self.slice_price,
+            bank_price=self.bank_price,
+            fixed_cost=self.fixed_cost,
+        )
+
+    def _update_prices(self) -> None:
+        """Raise the price of the scarcer resource (simple tatonnement)."""
+        fabric = self.hypervisor.fabric
+        slice_total = fabric.num_slices
+        bank_total = fabric.num_banks
+        slice_used = slice_total - len(fabric.free_tiles(TileKind.SLICE))
+        bank_used = bank_total - len(fabric.free_tiles(TileKind.BANK))
+        slice_load = slice_used / slice_total if slice_total else 0.0
+        bank_load = bank_used / bank_total if bank_total else 0.0
+        k = self.price_sensitivity
+        self.slice_price *= 1.0 + k * (slice_load - 0.5)
+        self.bank_price *= 1.0 + k * (bank_load - 0.5)
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+
+    def submit(self, request: CustomerRequest) -> Optional[Placement]:
+        """Serve one request at current prices; reprice afterwards."""
+        meta = MetaProgram(request.benchmark, request.utility,
+                           request.budget, model=self.model)
+        decision = meta.decide(self.quote())
+        # Integer VMs: the customer buys as many whole VCores as the
+        # budget covers (at least one).
+        vcores = max(1, math.floor(decision.vcores))
+        spec = VMSpec.uniform(
+            num_vcores=vcores,
+            slices_per_vcore=decision.slices,
+            cache_kb_per_vcore=decision.cache_kb,
+        )
+        instance = self.hypervisor.place(spec)
+        while instance is None and vcores > 1:
+            vcores //= 2
+            spec = VMSpec.uniform(
+                num_vcores=vcores,
+                slices_per_vcore=decision.slices,
+                cache_kb_per_vcore=decision.cache_kb,
+            )
+            instance = self.hypervisor.place(spec)
+        if instance is None:
+            self.rejected.append(request)
+            self._update_prices()
+            return None
+        quote = self.quote().as_market()
+        revenue = vcores * quote.cost(decision.cache_kb, decision.slices)
+        placement = Placement(
+            request=request,
+            vm_id=instance.vm_id,
+            cache_kb=decision.cache_kb,
+            slices=decision.slices,
+            vcores=vcores,
+            expected_utility=decision.expected_utility,
+            revenue=revenue,
+        )
+        self.placements.append(placement)
+        self._update_prices()
+        return placement
+
+    def submit_all(self, requests: List[CustomerRequest]) -> List[Placement]:
+        return [p for p in (self.submit(r) for r in requests) if p]
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+
+    def total_revenue(self) -> float:
+        return sum(p.revenue for p in self.placements)
+
+    def total_utility(self) -> float:
+        """Global utility - the market-efficiency quantity of Section 2.2."""
+        return sum(p.expected_utility for p in self.placements)
+
+    def utilization(self) -> float:
+        return self.hypervisor.fabric.utilization()

@@ -1,0 +1,47 @@
+"""The Sharing Architecture core: Slices, VCores, and the SSim simulator.
+
+This package is the reproduction of the paper's primary contribution
+(Sections 3 and 5.2): a fine-grain composable architecture where a Virtual
+Core (VCore) is synthesised from one to eight Slices plus zero or more L2
+Cache Banks, and SSim, the trace-driven cycle-level simulator that models
+every subsystem - fetch, two-stage rename, issue, execution, memory,
+commit, and the three on-chip networks.
+"""
+
+from repro.core.config import (
+    SliceConfig,
+    CacheLevelConfig,
+    CacheConfig,
+    VCoreConfig,
+    SimConfig,
+)
+from repro.core.structures import (
+    StructurePolicy,
+    STRUCTURE_POLICIES,
+    replicated_structures,
+    partitioned_structures,
+)
+from repro.core.branch import BimodalPredictor, BranchTargetBuffer, BranchUnit
+from repro.core.vcore import VCore
+from repro.core.simulator import SharingSimulator, SimResult
+from repro.core.reconfig import ReconfigurationEngine, ReconfigCost
+
+__all__ = [
+    "SliceConfig",
+    "CacheLevelConfig",
+    "CacheConfig",
+    "VCoreConfig",
+    "SimConfig",
+    "StructurePolicy",
+    "STRUCTURE_POLICIES",
+    "replicated_structures",
+    "partitioned_structures",
+    "BimodalPredictor",
+    "BranchTargetBuffer",
+    "BranchUnit",
+    "VCore",
+    "SharingSimulator",
+    "SimResult",
+    "ReconfigurationEngine",
+    "ReconfigCost",
+]

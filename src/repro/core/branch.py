@@ -1,0 +1,156 @@
+"""Branch prediction: distributed bimodal predictor plus BTB.
+
+Paper Section 3.1: each Slice carries a local bimodal predictor [40]
+indexed by PC.  Because fetch is interleaved, the same PC always lands on
+the same Slice, so each static branch trains exactly one Slice's
+predictor - effective capacity grows with Slice count.  The BTB is
+*replicated*: Slices that do not execute a branch install "fake" entries
+pointing at the Slice-interleaved next fetch address, so every Slice can
+redirect its own fetch stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+class BimodalPredictor:
+    """Classic two-bit saturating-counter predictor indexed by PC."""
+
+    #: Counter thresholds: 0-1 predict not-taken, 2-3 predict taken.
+    _INIT = 1
+
+    def __init__(self, entries: int = 1024):
+        if entries < 1 or entries & (entries - 1):
+            raise ValueError("predictor entries must be a power of two")
+        self.entries = entries
+        self._counters: Dict[int, int] = {}
+        self.lookups = 0
+        self.correct = 0
+
+    def _index(self, pc: int) -> int:
+        return pc % self.entries
+
+    def predict(self, pc: int) -> bool:
+        """Predicted direction for the branch at ``pc``."""
+        self.lookups += 1
+        counter = self._counters.get(self._index(pc), self._INIT)
+        return counter >= 2
+
+    def train(self, pc: int, taken: bool, predicted: bool) -> None:
+        """Update the two-bit counter after resolution."""
+        idx = self._index(pc)
+        counter = self._counters.get(idx, self._INIT)
+        if taken:
+            counter = min(3, counter + 1)
+        else:
+            counter = max(0, counter - 1)
+        self._counters[idx] = counter
+        if predicted == taken:
+            self.correct += 1
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.lookups if self.lookups else 1.0
+
+
+class GSharePredictor(BimodalPredictor):
+    """Gshare: the prediction table is indexed by PC xor global history.
+
+    Paper Section 3.1 notes that a global scheme needs a Global History
+    Register composed across Slices "with appropriate delay"; modelled
+    here as a per-Slice GHR over the branches that Slice observes, the
+    composition delay being the reason the paper defaults to bimodal.
+    """
+
+    def __init__(self, entries: int = 1024, history_bits: int = 8):
+        super().__init__(entries)
+        if history_bits < 1:
+            raise ValueError("need at least one history bit")
+        self.history_bits = history_bits
+        self._history = 0
+
+    def _index(self, pc: int) -> int:
+        return (pc ^ self._history) % self.entries
+
+    def train(self, pc: int, taken: bool, predicted: bool) -> None:
+        super().train(pc, taken, predicted)
+        mask = (1 << self.history_bits) - 1
+        self._history = ((self._history << 1) | int(taken)) & mask
+
+
+@dataclass
+class _BTBEntry:
+    target: int
+    is_fake: bool = False  # Slice-interleaved redirect, not the real target
+
+
+class BranchTargetBuffer:
+    """Direct-mapped BTB with support for the paper's fake entries."""
+
+    def __init__(self, entries: int = 512):
+        if entries < 1 or entries & (entries - 1):
+            raise ValueError("BTB entries must be a power of two")
+        self.entries = entries
+        self._table: Dict[int, _BTBEntry] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _index(self, pc: int) -> int:
+        return pc % self.entries
+
+    def lookup(self, pc: int) -> Optional[int]:
+        entry = self._table.get(self._index(pc))
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry.target
+
+    def install(self, pc: int, target: int, is_fake: bool = False) -> None:
+        self._table[self._index(pc)] = _BTBEntry(target=target, is_fake=is_fake)
+
+    def is_fake(self, pc: int) -> bool:
+        entry = self._table.get(self._index(pc))
+        return bool(entry and entry.is_fake)
+
+
+class BranchUnit:
+    """Per-Slice branch machinery: one predictor plus one BTB."""
+
+    def __init__(self, predictor_entries: int = 1024, btb_entries: int = 512,
+                 predictor_kind: str = "bimodal"):
+        if predictor_kind == "bimodal":
+            self.predictor = BimodalPredictor(predictor_entries)
+        elif predictor_kind == "gshare":
+            self.predictor = GSharePredictor(predictor_entries)
+        else:
+            raise ValueError(f"unknown predictor kind {predictor_kind!r}")
+        self.btb = BranchTargetBuffer(btb_entries)
+        self.mispredicts = 0
+        self.resolved = 0
+
+    def predict(self, pc: int) -> bool:
+        """Predict direction; a taken prediction without a BTB entry is
+        treated as not-taken (no target to redirect to yet)."""
+        taken = self.predictor.predict(pc)
+        if taken and self.btb.lookup(pc) is None:
+            return False
+        return taken
+
+    def resolve(self, pc: int, taken: bool, target: Optional[int],
+                predicted: bool) -> bool:
+        """Train on the resolved outcome; returns True on mispredict."""
+        self.resolved += 1
+        self.predictor.train(pc, taken, predicted)
+        if taken and target is not None:
+            self.btb.install(pc, target)
+        mispredicted = predicted != taken
+        if mispredicted:
+            self.mispredicts += 1
+        return mispredicted
+
+    @property
+    def mispredict_rate(self) -> float:
+        return self.mispredicts / self.resolved if self.resolved else 0.0

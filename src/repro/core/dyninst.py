@@ -1,0 +1,80 @@
+"""In-flight dynamic instruction state for SSim."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+from repro.isa import Instruction, OpClass
+
+#: Sentinel cycle meaning "not yet happened".
+NEVER = -1
+
+#: Sentinel ready cycle for an operand whose producer has not completed.
+PENDING = 1 << 60
+
+
+@dataclass
+class DynInst:
+    """One dynamic instruction moving through the VCore pipeline."""
+
+    inst: Instruction
+    slice_id: int
+    fetch_cycle: int = NEVER
+    rename_cycle: int = NEVER
+    dispatch_cycle: int = NEVER
+    issue_cycle: int = NEVER
+    complete_cycle: int = NEVER
+    commit_cycle: int = NEVER
+
+    #: Global logical register allocated for the destination.
+    global_dst: Optional[int] = None
+    #: Global register freed when this instruction commits.
+    frees_global: Optional[int] = None
+    #: Cycle at which each source operand becomes available on this Slice.
+    src_ready: List[int] = field(default_factory=list)
+    #: Predicted branch direction (branches only).
+    predicted_taken: bool = False
+    #: True once the branch resolved as mispredicted.
+    mispredicted: bool = False
+    #: Home Slice executing the memory access (after LS sorting).
+    mem_home_slice: Optional[int] = None
+    #: Load satisfied by forwarding from this store seq, if any.
+    forwarded_from: Optional[int] = None
+    #: Squashed by a memory-order violation replay.
+    squashed: bool = False
+    #: Consumers waiting on this instruction's result: (consumer, src_idx).
+    waiters: List[Tuple["DynInst", int]] = field(default_factory=list)
+    #: Prior global RAT mapping displaced by this instruction's destination
+    #: rename (freed at commit, restored on squash).
+    prior_mapping: Optional[Any] = None
+
+    @property
+    def seq(self) -> int:
+        return self.inst.seq
+
+    @property
+    def op_class(self) -> OpClass:
+        return self.inst.op_class
+
+    @property
+    def is_dispatched(self) -> bool:
+        return self.dispatch_cycle != NEVER
+
+    @property
+    def is_issued(self) -> bool:
+        return self.issue_cycle != NEVER
+
+    @property
+    def is_complete(self) -> bool:
+        return self.complete_cycle != NEVER
+
+    @property
+    def is_committed(self) -> bool:
+        return self.commit_cycle != NEVER
+
+    def ready_cycle(self) -> int:
+        """Cycle at which all source operands are available."""
+        if not self.src_ready:
+            return self.dispatch_cycle
+        return max(self.src_ready + [self.dispatch_cycle])

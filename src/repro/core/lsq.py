@@ -1,0 +1,161 @@
+"""Unordered, address-banked load/store queues (paper Section 3.6).
+
+The Sharing Architecture departs from clustered/Core Fusion LSQs: memory
+operations are *sorted* to a home Slice by address (low-order interleaved
+by cache line) after address generation, so each Slice's LSQ bank only
+ever sees one address partition.  The bank is unordered with respect to
+age; an explicit age tag maintains load/store order.  Committing stores
+search the bank for younger issued loads to the same address and report a
+violation when they find one (Figure 9).  Loads may forward from older
+resolved stores in the same bank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass
+class LSQEntry:
+    """One memory operation resident in a bank."""
+
+    seq: int  # age tag (program order)
+    is_store: bool
+    line: int
+    resolved_cycle: int
+    forwarded_from: Optional[int] = None
+
+
+class LSQBank:
+    """One Slice's unordered LSQ bank."""
+
+    def __init__(self, capacity: int = 32):
+        if capacity < 1:
+            raise ValueError("LSQ bank needs capacity >= 1")
+        self.capacity = capacity
+        self._entries: Dict[int, LSQEntry] = {}
+        self.inserted = 0
+        self.full_stalls = 0
+        self.violations = 0
+        self.forwards = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def insert(self, seq: int, is_store: bool, line: int,
+               resolved_cycle: int, force: bool = False) -> Optional[LSQEntry]:
+        """Allocate at address resolution (late binding); None when full.
+
+        ``force`` admits the entry over capacity; the simulator uses it
+        for the ROB-head memory operation so a bank saturated with younger
+        entries can never deadlock commit.
+        """
+        if self.full and not force:
+            self.full_stalls += 1
+            return None
+        entry = LSQEntry(seq=seq, is_store=is_store, line=line,
+                         resolved_cycle=resolved_cycle)
+        self._entries[seq] = entry
+        self.inserted += 1
+        return entry
+
+    def find_forwarding_store(self, load_seq: int, line: int,
+                              before_cycle: Optional[int] = None
+                              ) -> Optional[LSQEntry]:
+        """Youngest older resolved store to the same line, if any.
+
+        With ``before_cycle`` set, only stores whose address resolved by
+        that cycle are candidates - a store resolving later cannot forward
+        to this load and will instead flag a violation at its commit.
+        """
+        best: Optional[LSQEntry] = None
+        for entry in self._entries.values():
+            if (entry.is_store and entry.seq < load_seq
+                    and entry.line == line
+                    and (before_cycle is None
+                         or entry.resolved_cycle <= before_cycle)
+                    and (best is None or entry.seq > best.seq)):
+                best = entry
+        if best is not None:
+            self.forwards += 1
+        return best
+
+    def check_store_commit(self, store_seq: int, line: int) -> List[LSQEntry]:
+        """Violation check on store commit (paper Figure 9).
+
+        Returns the younger issued loads to the same line that consumed a
+        value *older* than this store - loads that forwarded from this
+        store, or from an even younger store, saw correct data.
+        """
+        violators = [
+            entry
+            for entry in self._entries.values()
+            if (not entry.is_store
+                and entry.seq > store_seq
+                and entry.line == line
+                and (entry.forwarded_from is None
+                     or entry.forwarded_from < store_seq))
+        ]
+        self.violations += len(violators)
+        return violators
+
+    def remove(self, seq: int) -> None:
+        self._entries.pop(seq, None)
+
+    def squash_younger(self, seq: int) -> int:
+        """Drop all entries younger than ``seq`` (violation replay)."""
+        victims = [s for s in self._entries if s > seq]
+        for s in victims:
+            del self._entries[s]
+        return len(victims)
+
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+
+class DistributedLSQ:
+    """The VCore's LSQ: one bank per Slice, address-interleaved.
+
+    ``home_slice(address)`` implements the sorting hash of Section 3.5:
+    low-order interleave by cache line, so accesses to the same line are
+    always sorted to the same Slice and no intra-VCore coherence is
+    needed.
+    """
+
+    def __init__(self, num_slices: int, bank_capacity: int = 32,
+                 line_size: int = 64):
+        if num_slices < 1:
+            raise ValueError("need at least one Slice")
+        self.num_slices = num_slices
+        self.line_size = line_size
+        self.banks = [LSQBank(bank_capacity) for _ in range(num_slices)]
+
+    def home_slice(self, address: int) -> int:
+        return (address // self.line_size) % self.num_slices
+
+    def bank_for(self, address: int) -> LSQBank:
+        return self.banks[self.home_slice(address)]
+
+    @property
+    def total_violations(self) -> int:
+        return sum(b.violations for b in self.banks)
+
+    @property
+    def total_forwards(self) -> int:
+        return sum(b.forwards for b in self.banks)
+
+    @property
+    def total_full_stalls(self) -> int:
+        return sum(b.full_stalls for b in self.banks)
+
+    def aggregate_capacity(self) -> int:
+        """Total LSQ capacity grows with Slice count (Section 3.6)."""
+        return sum(b.capacity for b in self.banks)
+
+    def squash_younger(self, seq: int) -> int:
+        return sum(b.squash_younger(seq) for b in self.banks)

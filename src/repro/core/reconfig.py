@@ -1,0 +1,92 @@
+"""VCore reconfiguration (paper Section 3.8).
+
+The hypervisor, running on single-Slice VCores, reconfigures client
+VCores by rewriting interconnect and protection state.  Two costs matter:
+
+* shrinking the Slice count requires a *Register Flush* - dirty
+  architectural register state is pushed to surviving Slices over the
+  Scalar Operand Network (fast: at most 64 local physical registers per
+  Slice);
+* changing the L2 allocation requires flushing dirty bank state to main
+  memory before the banks are handed to another VCore.
+
+Paper Section 5.10 charges 10 000 cycles when the cache configuration
+changes and 500 cycles when only the Slice count changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.trace.phases import RECONFIG_CACHE_CYCLES, RECONFIG_SLICE_CYCLES
+
+
+@dataclass(frozen=True)
+class ReconfigCost:
+    """Cycles charged for one reconfiguration step."""
+
+    cycles: int
+    cache_flushed: bool
+    registers_flushed: bool
+
+    @property
+    def is_free(self) -> bool:
+        return self.cycles == 0
+
+
+class ReconfigurationEngine:
+    """Computes reconfiguration costs between VCore configurations."""
+
+    def __init__(self, cache_flush_cycles: int = RECONFIG_CACHE_CYCLES,
+                 slice_change_cycles: int = RECONFIG_SLICE_CYCLES):
+        if cache_flush_cycles < 0 or slice_change_cycles < 0:
+            raise ValueError("costs cannot be negative")
+        self.cache_flush_cycles = cache_flush_cycles
+        self.slice_change_cycles = slice_change_cycles
+
+    def cost(self, old_cache_kb: float, old_slices: int,
+             new_cache_kb: float, new_slices: int) -> ReconfigCost:
+        """Cost of moving between two ``(cache, slices)`` configurations.
+
+        A cache change dominates (the L2 flush includes redistributing
+        register state); a pure Slice change needs only the Register
+        Flush instruction over the operand network.
+        """
+        if old_slices < 1 or new_slices < 1:
+            raise ValueError("VCores have at least one Slice")
+        if old_cache_kb < 0 or new_cache_kb < 0:
+            raise ValueError("cache sizes cannot be negative")
+        if old_cache_kb != new_cache_kb:
+            return ReconfigCost(
+                cycles=self.cache_flush_cycles,
+                cache_flushed=True,
+                registers_flushed=old_slices != new_slices,
+            )
+        if old_slices != new_slices:
+            return ReconfigCost(
+                cycles=self.slice_change_cycles,
+                cache_flushed=False,
+                registers_flushed=True,
+            )
+        return ReconfigCost(cycles=0, cache_flushed=False,
+                            registers_flushed=False)
+
+    def schedule_cost(self, configs) -> int:
+        """Total cycles for a sequence of per-phase configurations."""
+        total = 0
+        for (old_c, old_s), (new_c, new_s) in zip(configs, configs[1:]):
+            total += self.cost(old_c, old_s, new_c, new_s).cycles
+        return total
+
+    def register_flush_cycles(self, num_slices: int,
+                              regs_per_slice: int = 64,
+                              network_cycles_per_reg: int = 1) -> int:
+        """First-order cost of the Register Flush instruction itself.
+
+        There are at most 64 local physical registers per Slice and the
+        SON is fast for register data (Section 3.8), so the flush is a
+        small constant compared to the scheduling quantum.
+        """
+        if num_slices < 1:
+            raise ValueError("VCores have at least one Slice")
+        return regs_per_slice * network_cycles_per_reg * num_slices

@@ -1,0 +1,97 @@
+"""Simulation statistics.
+
+Paper Section 5.2: "When a simulation completes, SSim reports the cycles
+executed for a given workload along with cache miss rates and stage-based
+micro-architecture stalls and statistics."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class StallBreakdown:
+    """Per-stage stall cycle counters."""
+
+    fetch_icache: int = 0
+    fetch_buffer_full: int = 0
+    fetch_branch_redirect: int = 0
+    dispatch_rob_full: int = 0
+    dispatch_window_full: int = 0
+    dispatch_freelist: int = 0
+    dispatch_lrf_full: int = 0
+    issue_lsq_full: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "fetch_icache": self.fetch_icache,
+            "fetch_buffer_full": self.fetch_buffer_full,
+            "fetch_branch_redirect": self.fetch_branch_redirect,
+            "dispatch_rob_full": self.dispatch_rob_full,
+            "dispatch_window_full": self.dispatch_window_full,
+            "dispatch_freelist": self.dispatch_freelist,
+            "dispatch_lrf_full": self.dispatch_lrf_full,
+            "issue_lsq_full": self.issue_lsq_full,
+        }
+
+    def total(self) -> int:
+        return sum(self.as_dict().values())
+
+
+@dataclass
+class SimStats:
+    """Aggregate counters collected during one SSim run."""
+
+    cycles: int = 0
+    fetched: int = 0
+    committed: int = 0
+    squashed: int = 0
+
+    branches: int = 0
+    branch_mispredicts: int = 0
+
+    l1i_accesses: int = 0
+    l1i_misses: int = 0
+    l1d_accesses: int = 0
+    l1d_misses: int = 0
+    l2_accesses: int = 0
+    l2_misses: int = 0
+
+    operand_requests: int = 0
+    remote_operand_hops: int = 0
+    lsq_violations: int = 0
+    store_forwards: int = 0
+
+    stalls: StallBreakdown = field(default_factory=StallBreakdown)
+
+    @property
+    def ipc(self) -> float:
+        return self.committed / self.cycles if self.cycles else 0.0
+
+    @property
+    def branch_accuracy(self) -> float:
+        if not self.branches:
+            return 1.0
+        return 1.0 - self.branch_mispredicts / self.branches
+
+    @property
+    def l1d_miss_rate(self) -> float:
+        return self.l1d_misses / self.l1d_accesses if self.l1d_accesses else 0.0
+
+    @property
+    def l2_miss_rate(self) -> float:
+        return self.l2_misses / self.l2_accesses if self.l2_accesses else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "cycles": self.cycles,
+            "committed": self.committed,
+            "ipc": round(self.ipc, 4),
+            "branch_accuracy": round(self.branch_accuracy, 4),
+            "l1d_miss_rate": round(self.l1d_miss_rate, 4),
+            "l2_miss_rate": round(self.l2_miss_rate, 4),
+            "lsq_violations": self.lsq_violations,
+            "squashed": self.squashed,
+        }

@@ -1,0 +1,70 @@
+"""Replicated vs partitioned structure policies (paper Table 1).
+
+When Slices are grouped into a VCore, each intra-core structure is either
+*replicated* (each Slice keeps a full private copy, sized for the largest
+configuration) or *partitioned* (the logical structure is spread across
+Slices so capacity scales with Slice count).  Section 3 motivates each
+choice by the structure's tolerance to access latency.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List
+
+
+class StructurePolicy(enum.Enum):
+    REPLICATED = "replicated"
+    PARTITIONED = "partitioned"
+
+
+#: Paper Table 1.  The branch predictor, BTB, scoreboard and global RAT
+#: are replicated per Slice; the issue window, load queue, store queue,
+#: ROB, local RAT and physical register file are partitioned so their
+#: aggregate capacity grows with the number of Slices.
+STRUCTURE_POLICIES: Dict[str, StructurePolicy] = {
+    "branch_predictor": StructurePolicy.REPLICATED,
+    "btb": StructurePolicy.REPLICATED,
+    "scoreboard": StructurePolicy.REPLICATED,
+    "global_rat": StructurePolicy.REPLICATED,
+    "issue_window": StructurePolicy.PARTITIONED,
+    "load_queue": StructurePolicy.PARTITIONED,
+    "store_queue": StructurePolicy.PARTITIONED,
+    "rob": StructurePolicy.PARTITIONED,
+    "local_rat": StructurePolicy.PARTITIONED,
+    "physical_rf": StructurePolicy.PARTITIONED,
+}
+
+
+def replicated_structures() -> List[str]:
+    return sorted(
+        name
+        for name, policy in STRUCTURE_POLICIES.items()
+        if policy is StructurePolicy.REPLICATED
+    )
+
+
+def partitioned_structures() -> List[str]:
+    return sorted(
+        name
+        for name, policy in STRUCTURE_POLICIES.items()
+        if policy is StructurePolicy.PARTITIONED
+    )
+
+
+def effective_capacity(structure: str, per_slice_capacity: int,
+                       num_slices: int) -> int:
+    """Logical capacity of a structure in an ``num_slices``-Slice VCore.
+
+    Partitioned structures aggregate across Slices; replicated structures
+    do not grow (each Slice holds a copy sized for the maximum VCore).
+    """
+    if num_slices < 1:
+        raise ValueError("a VCore has at least one Slice")
+    policy = STRUCTURE_POLICIES.get(structure)
+    if policy is None:
+        known = ", ".join(sorted(STRUCTURE_POLICIES))
+        raise KeyError(f"unknown structure {structure!r}; known: {known}")
+    if policy is StructurePolicy.PARTITIONED:
+        return per_slice_capacity * num_slices
+    return per_slice_capacity

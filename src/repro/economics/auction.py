@@ -1,0 +1,213 @@
+"""Spot-market auction for fine-grain resources.
+
+Paper Section 2.1 notes EC2's Spot Pricing auction for whole VM
+instances, and Section 2.3 proposes "a market where the cloud provider
+auctions off all resources down to the ALU, KB of cache, fetch unit".
+This module implements that market-clearing process: a tatonnement
+auction in which every customer's meta-program re-submits its demand at
+the current prices, and prices for Slices and Cache Banks move with
+their individual excess demand until the market (approximately) clears.
+
+The fixed point is the economically efficient allocation the paper's
+utility analysis assumes: each customer holds the bundle that maximises
+their utility at prices where demand meets supply.
+
+A caveat worth stating: with *lumpy* demand (optima move in grid steps)
+a Walrasian equilibrium need not exist - a population of identical
+bidders under scarce supply can oscillate between two bundles forever.
+``clear`` then returns ``converged=False`` with the final prices, and
+the provider must ration (exactly what EC2's spot market does when it
+interrupts instances).  Diverse populations, the realistic case, clear
+in a handful of rounds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.economics.market import Market
+from repro.economics.optimizer import UtilityOptimizer
+from repro.economics.utility import UtilityFunction
+from repro.perfmodel.model import AnalyticModel
+
+
+@dataclass(frozen=True)
+class Bidder:
+    """One customer participating in the spot market."""
+
+    name: str
+    benchmark: str
+    utility: UtilityFunction
+    budget: float
+
+    def __post_init__(self) -> None:
+        if self.budget <= 0:
+            raise ValueError("budget must be positive")
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """What one bidder holds at the clearing prices."""
+
+    bidder: str
+    cache_kb: float
+    slices: int
+    vcores: float
+    utility: float
+
+    @property
+    def slices_demanded(self) -> float:
+        return self.vcores * self.slices
+
+    @property
+    def banks_demanded(self) -> float:
+        return self.vcores * (self.cache_kb / 64.0)
+
+
+@dataclass
+class ClearingResult:
+    """Outcome of the tatonnement.
+
+    ``rationed`` marks the lumpy-demand case: customers' optima move in
+    grid steps, so no price clears the market exactly; the price settles
+    and the provider rations the over-demanded resource pro rata (the
+    spot-market behaviour of interrupted EC2 spot instances).
+    """
+
+    slice_price: float
+    bank_price: float
+    rounds: int
+    converged: bool
+    allocations: List[Allocation]
+    slice_supply: float
+    bank_supply: float
+    rationed: bool = False
+
+    @property
+    def total_welfare(self) -> float:
+        """Global utility - the market-efficiency objective (§2.2)."""
+        return sum(a.utility for a in self.allocations)
+
+    @property
+    def slice_demand(self) -> float:
+        return sum(a.slices_demanded for a in self.allocations)
+
+    @property
+    def bank_demand(self) -> float:
+        return sum(a.banks_demanded for a in self.allocations)
+
+    @property
+    def provider_revenue(self) -> float:
+        return (self.slice_price * min(self.slice_demand, self.slice_supply)
+                + self.bank_price * min(self.bank_demand, self.bank_supply))
+
+
+class SpotMarket:
+    """Tatonnement over Slice and bank prices."""
+
+    def __init__(self, slice_supply: float, bank_supply: float,
+                 fixed_cost: float = 8.0,
+                 model: Optional[AnalyticModel] = None,
+                 adjustment_rate: float = 0.3,
+                 tolerance: float = 0.05,
+                 max_rounds: int = 60):
+        if slice_supply <= 0 or bank_supply <= 0:
+            raise ValueError("supplies must be positive")
+        if not 0 < adjustment_rate < 1:
+            raise ValueError("adjustment rate must be in (0, 1)")
+        self.slice_supply = slice_supply
+        self.bank_supply = bank_supply
+        self.fixed_cost = fixed_cost
+        self.model = model or AnalyticModel()
+        self.adjustment_rate = adjustment_rate
+        self.tolerance = tolerance
+        self.max_rounds = max_rounds
+
+    def _demands(self, bidders: Sequence[Bidder], slice_price: float,
+                 bank_price: float) -> List[Allocation]:
+        market = Market(name="spot", slice_price=slice_price,
+                        bank_price=bank_price, fixed_cost=self.fixed_cost)
+        allocations = []
+        for bidder in bidders:
+            optimizer = UtilityOptimizer(model=self.model,
+                                         budget=bidder.budget)
+            choice = optimizer.best(bidder.benchmark, bidder.utility, market)
+            allocations.append(Allocation(
+                bidder=bidder.name,
+                cache_kb=choice.cache_kb,
+                slices=choice.slices,
+                vcores=choice.vcores,
+                utility=choice.utility,
+            ))
+        return allocations
+
+    def clear(self, bidders: Sequence[Bidder],
+              initial_slice_price: float = 2.0,
+              initial_bank_price: float = 1.0) -> ClearingResult:
+        """Iterate prices until excess demand is within tolerance."""
+        if not bidders:
+            raise ValueError("need at least one bidder")
+        slice_price = initial_slice_price
+        bank_price = initial_bank_price
+        allocations: List[Allocation] = []
+        converged = False
+        rationed = False
+        stable_rounds = 0
+        last_demand = (None, None)
+        rounds = 0
+        for rounds in range(1, self.max_rounds + 1):
+            allocations = self._demands(bidders, slice_price, bank_price)
+            slice_excess = (sum(a.slices_demanded for a in allocations)
+                            / self.slice_supply - 1.0)
+            bank_excess = (sum(a.banks_demanded for a in allocations)
+                           / self.bank_supply - 1.0)
+            # Cleared: no over-demand on either resource.  Under-demand
+            # is acceptable (free disposal): with excess supply the
+            # competitive price falls toward the floor and idle capacity
+            # simply stays idle - the provider cannot force customers to
+            # buy.
+            floor = 0.01
+            no_overdemand = (slice_excess <= self.tolerance
+                             and bank_excess <= self.tolerance)
+            at_floor = slice_price <= floor * 1.01 and bank_price <= floor * 1.01
+            if rounds > 1 and no_overdemand and (
+                slice_excess >= -self.tolerance
+                or bank_excess >= -self.tolerance
+                or at_floor
+            ):
+                converged = True
+                break
+            # Lumpy demand: optima move in grid steps, so demand can be
+            # price-insensitive over a band.  If it has not moved for
+            # several rounds the price has settled - accept and ration.
+            demand = (round(sum(a.slices_demanded for a in allocations), 1),
+                      round(sum(a.banks_demanded for a in allocations), 1))
+            stable_rounds = stable_rounds + 1 if demand == last_demand else 0
+            last_demand = demand
+            if stable_rounds >= 5:
+                converged = True
+                rationed = not no_overdemand
+                break
+            # Mildly damped tatonnement: over-demand raises a price,
+            # under-demand lowers it toward the floor.
+            k = self.adjustment_rate / (1.0 + rounds / 40.0)
+            slice_price = max(floor,
+                              slice_price * math.exp(k * _clamp(slice_excess)))
+            bank_price = max(floor,
+                             bank_price * math.exp(k * _clamp(bank_excess)))
+        return ClearingResult(
+            slice_price=slice_price,
+            bank_price=bank_price,
+            rounds=rounds,
+            converged=converged,
+            allocations=allocations,
+            slice_supply=self.slice_supply,
+            bank_supply=self.bank_supply,
+            rationed=rationed,
+        )
+
+
+def _clamp(x: float, bound: float = 2.0) -> float:
+    return max(-bound, min(bound, x))

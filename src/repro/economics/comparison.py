@@ -1,0 +1,185 @@
+"""Market-efficiency comparisons (paper Section 5.8, Figures 15-16).
+
+Figure 15 compares the Sharing Architecture against the single best
+*static fixed* configuration - the one that maximises the geometric mean
+of utility across every (benchmark, utility-function) customer.  For
+each pairwise mix of two customers, the gain is
+
+    (U_b1(sharing) + U_b2(sharing)) / (U_b1(fixed) + U_b2(fixed))
+
+Figure 16 compares against a *heterogeneous* multicore in the spirit of
+[18]: per utility function the best configuration across the benchmark
+suite is chosen, and each customer runs on their utility's tuned core:
+
+    (U_b1(sharing) + U_b2(sharing)) / (U_b1(fixed_c) + U_b2(fixed_d))
+
+Both studies restrict to Market2 (prices track area), as the paper does.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.economics.market import MARKET2, Market
+from repro.economics.optimizer import UtilityOptimizer
+from repro.economics.utility import STANDARD_UTILITIES, UtilityFunction
+
+
+@dataclass(frozen=True)
+class Customer:
+    """One (benchmark, utility) pair - one Cloud customer archetype."""
+
+    benchmark: str
+    utility: UtilityFunction
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return self.benchmark, self.utility.name
+
+
+@dataclass(frozen=True)
+class PairGain:
+    """Utility gain of the Sharing Architecture for one customer pair."""
+
+    customer_a: Tuple[str, str]
+    customer_b: Tuple[str, str]
+    sharing_utility: float
+    fixed_utility: float
+
+    @property
+    def gain(self) -> float:
+        if self.fixed_utility <= 0:
+            return float("inf")
+        return self.sharing_utility / self.fixed_utility
+
+
+def _geometric_mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("geometric mean of nothing")
+    if any(v <= 0 for v in values):
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+class MarketEfficiencyComparison:
+    """Pairwise utility-gain studies against fixed architectures."""
+
+    def __init__(self, benchmarks: Sequence[str],
+                 utilities: Sequence[UtilityFunction] = STANDARD_UTILITIES,
+                 market: Market = MARKET2,
+                 optimizer: Optional[UtilityOptimizer] = None):
+        if not benchmarks:
+            raise ValueError("need at least one benchmark")
+        self.benchmarks = list(benchmarks)
+        self.utilities = list(utilities)
+        self.market = market
+        self.optimizer = optimizer or UtilityOptimizer()
+        self.customers = [
+            Customer(benchmark=b, utility=u)
+            for b in self.benchmarks
+            for u in self.utilities
+        ]
+        # Per-customer utility on every configuration, computed once.
+        self._config_utils: Dict[Tuple[str, str], Dict] = {
+            c.key: {
+                (cache_kb, slices): self.optimizer.utility_at(
+                    c.benchmark, c.utility, self.market, cache_kb, slices
+                )
+                for cache_kb in self.optimizer.cache_grid
+                for slices in self.optimizer.slice_grid
+            }
+            for c in self.customers
+        }
+        self._sharing_best: Dict[Tuple[str, str], float] = {
+            key: max(utils.values())
+            for key, utils in self._config_utils.items()
+        }
+
+    # ------------------------------------------------------------------
+    # fixed-architecture references
+    # ------------------------------------------------------------------
+
+    def best_static_config(self) -> Tuple[float, int]:
+        """The single configuration maximising GME across all customers.
+
+        This is the paper's "optimal fixed architecture ... determined
+        across all benchmarks and the three utility functions".
+        """
+        configs = [
+            (cache_kb, slices)
+            for cache_kb in self.optimizer.cache_grid
+            for slices in self.optimizer.slice_grid
+        ]
+        return max(
+            configs,
+            key=lambda cfg: _geometric_mean(
+                [self._config_utils[c.key][cfg] for c in self.customers]
+            ),
+        )
+
+    def best_config_for_utility(self, utility: UtilityFunction
+                                ) -> Tuple[float, int]:
+        """Per-utility best configuration (heterogeneous design point)."""
+        configs = [
+            (cache_kb, slices)
+            for cache_kb in self.optimizer.cache_grid
+            for slices in self.optimizer.slice_grid
+        ]
+        relevant = [c for c in self.customers if c.utility is utility
+                    or c.utility.name == utility.name]
+        return max(
+            configs,
+            key=lambda cfg: _geometric_mean(
+                [self._config_utils[c.key][cfg] for c in relevant]
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # pairwise gain studies
+    # ------------------------------------------------------------------
+
+    def gains_vs_static(self) -> List[PairGain]:
+        """Figure 15: all customer pairs against the best static config."""
+        fixed_cfg = self.best_static_config()
+        gains: List[PairGain] = []
+        n = len(self.customers)
+        for i in range(n):
+            for j in range(i + 1, n):
+                a, b = self.customers[i], self.customers[j]
+                sharing = self._sharing_best[a.key] + self._sharing_best[b.key]
+                fixed = (self._config_utils[a.key][fixed_cfg]
+                         + self._config_utils[b.key][fixed_cfg])
+                gains.append(PairGain(a.key, b.key, sharing, fixed))
+        return gains
+
+    def gains_vs_heterogeneous(self) -> List[PairGain]:
+        """Figure 16: pairs against per-utility tuned heterogeneous cores."""
+        per_utility_cfg = {
+            u.name: self.best_config_for_utility(u) for u in self.utilities
+        }
+        gains: List[PairGain] = []
+        n = len(self.customers)
+        for i in range(n):
+            for j in range(i + 1, n):
+                a, b = self.customers[i], self.customers[j]
+                cfg_a = per_utility_cfg[a.utility.name]
+                cfg_b = per_utility_cfg[b.utility.name]
+                sharing = self._sharing_best[a.key] + self._sharing_best[b.key]
+                fixed = (self._config_utils[a.key][cfg_a]
+                         + self._config_utils[b.key][cfg_b])
+                gains.append(PairGain(a.key, b.key, sharing, fixed))
+        return gains
+
+    @staticmethod
+    def summarize(gains: Sequence[PairGain]) -> Dict[str, float]:
+        values = [g.gain for g in gains]
+        values.sort()
+        return {
+            "pairs": len(values),
+            "min": values[0],
+            "median": values[len(values) // 2],
+            "mean": sum(values) / len(values),
+            "max": values[-1],
+        }

@@ -1,0 +1,107 @@
+"""Performance-area efficiency metrics (paper Section 5.5, Table 4).
+
+``performance / area`` models throughput customers; ``performance^2 /
+area`` and ``performance^3 / area`` model increasing preference for
+single-thread performance (the paper notes the analogy to Energy*Delay^2
+and Energy*Delay^3).  Optimal VCore configurations are found by
+exhaustive search over the Equation 3 space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.area.model import AreaModel
+from repro.perfmodel.model import (
+    AnalyticModel,
+    CACHE_GRID_KB,
+    SLICE_GRID,
+    ProfileLike,
+)
+
+
+@dataclass(frozen=True)
+class EfficiencyMetric:
+    """``performance^k / area`` for a preference exponent k."""
+
+    name: str
+    perf_exponent: float
+
+    def __post_init__(self) -> None:
+        if self.perf_exponent <= 0:
+            raise ValueError("exponent must be positive")
+
+    def value(self, performance: float, area: float) -> float:
+        if area <= 0:
+            raise ValueError("area must be positive")
+        return (performance ** self.perf_exponent) / area
+
+
+PERF_PER_AREA = EfficiencyMetric("performance/area", 1.0)
+PERF2_PER_AREA = EfficiencyMetric("performance^2/area", 2.0)
+PERF3_PER_AREA = EfficiencyMetric("performance^3/area", 3.0)
+STANDARD_METRICS: Tuple[EfficiencyMetric, ...] = (
+    PERF_PER_AREA,
+    PERF2_PER_AREA,
+    PERF3_PER_AREA,
+)
+
+
+@dataclass(frozen=True)
+class ConfigurationScore:
+    """One configuration's metric value."""
+
+    cache_kb: float
+    slices: int
+    performance: float
+    area: float
+    score: float
+
+
+def optimal_configuration(
+    benchmark: ProfileLike,
+    metric: EfficiencyMetric,
+    model: Optional[AnalyticModel] = None,
+    area_model: Optional[AreaModel] = None,
+    cache_grid: Sequence[float] = CACHE_GRID_KB,
+    slice_grid: Sequence[int] = SLICE_GRID,
+) -> ConfigurationScore:
+    """Exhaustively search Equation 3's space for the best configuration."""
+    model = model or AnalyticModel()
+    area_model = area_model or AreaModel()
+    best: Optional[ConfigurationScore] = None
+    for cache_kb in cache_grid:
+        for slices in slice_grid:
+            perf = model.performance(benchmark, cache_kb, slices)
+            area = area_model.vcore_area(cache_kb, slices,
+                                          include_uncore=True)
+            score = metric.value(perf, area)
+            if best is None or score > best.score:
+                best = ConfigurationScore(
+                    cache_kb=cache_kb,
+                    slices=slices,
+                    performance=perf,
+                    area=area,
+                    score=score,
+                )
+    assert best is not None
+    return best
+
+
+def efficiency_table(
+    benchmarks: Sequence[str],
+    metrics: Sequence[EfficiencyMetric] = STANDARD_METRICS,
+    model: Optional[AnalyticModel] = None,
+    area_model: Optional[AreaModel] = None,
+):
+    """Table 4: optimal (cache, slices) per benchmark per metric."""
+    model = model or AnalyticModel()
+    area_model = area_model or AreaModel()
+    return {
+        metric.name: {
+            bench: optimal_configuration(bench, metric, model, area_model)
+            for bench in benchmarks
+        }
+        for metric in metrics
+    }

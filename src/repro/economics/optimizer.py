@@ -1,0 +1,116 @@
+"""Customer utility maximisation (paper Section 5.6, Table 6).
+
+A Cloud customer picks the VCore configuration ``(c, s)`` and replication
+factor ``v`` that maximise their utility under their budget:
+
+    maximise  U(P(c, s), v)
+    where     v = B / (C_c * c + C_s * s)         (Equation 2)
+              0 <= c <= 8 MB,  1 <= s <= 8        (Equation 3)
+
+The search is exhaustive over the valid configuration grid, exactly as
+the paper's evaluation ("an exhaustive search of performance for
+different Slice count and Cache configurations", Section 5.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.economics.market import Market
+from repro.economics.utility import UtilityFunction
+from repro.perfmodel.model import (
+    AnalyticModel,
+    CACHE_GRID_KB,
+    SLICE_GRID,
+    ProfileLike,
+)
+
+#: Default customer budget: enough for roughly a dozen equal-area Slices.
+DEFAULT_BUDGET = 24.0
+
+
+@dataclass(frozen=True)
+class OptimalChoice:
+    """A customer's utility-maximising purchase."""
+
+    benchmark: str
+    utility_name: str
+    market_name: str
+    cache_kb: float
+    slices: int
+    vcores: float
+    performance: float
+    utility: float
+
+
+class UtilityOptimizer:
+    """Maximises customer utility over the configuration grid."""
+
+    def __init__(self, model: Optional[AnalyticModel] = None,
+                 budget: float = DEFAULT_BUDGET,
+                 cache_grid: Sequence[float] = CACHE_GRID_KB,
+                 slice_grid: Sequence[int] = SLICE_GRID):
+        if budget <= 0:
+            raise ValueError("budget must be positive")
+        self.model = model or AnalyticModel()
+        self.budget = budget
+        self.cache_grid = tuple(cache_grid)
+        self.slice_grid = tuple(slice_grid)
+
+    def utility_at(self, benchmark: ProfileLike, utility: UtilityFunction,
+                   market: Market, cache_kb: float, slices: int) -> float:
+        """Utility of one specific configuration under the budget."""
+        perf = self.model.performance(benchmark, cache_kb, slices)
+        vcores = market.vcores_affordable(self.budget, cache_kb, slices)
+        return utility.value(perf, vcores)
+
+    def best(self, benchmark: str, utility: UtilityFunction,
+             market: Market) -> OptimalChoice:
+        """The utility-maximising configuration for one customer."""
+        best_choice: Optional[OptimalChoice] = None
+        for cache_kb in self.cache_grid:
+            for slices in self.slice_grid:
+                perf = self.model.performance(benchmark, cache_kb, slices)
+                vcores = market.vcores_affordable(
+                    self.budget, cache_kb, slices
+                )
+                value = utility.value(perf, vcores)
+                if best_choice is None or value > best_choice.utility:
+                    best_choice = OptimalChoice(
+                        benchmark=benchmark,
+                        utility_name=utility.name,
+                        market_name=market.name,
+                        cache_kb=cache_kb,
+                        slices=slices,
+                        vcores=vcores,
+                        performance=perf,
+                        utility=value,
+                    )
+        assert best_choice is not None
+        return best_choice
+
+    def table6(self, benchmarks: Sequence[str],
+               utilities: Sequence[UtilityFunction],
+               markets: Sequence[Market]
+               ) -> Dict[Tuple[str, str, str], OptimalChoice]:
+        """Paper Table 6: optimal configurations per market per utility."""
+        return {
+            (market.name, utility.name, bench): self.best(
+                bench, utility, market
+            )
+            for market in markets
+            for utility in utilities
+            for bench in benchmarks
+        }
+
+    def utility_surface(self, benchmark: str, utility: UtilityFunction,
+                        market: Market) -> Dict[Tuple[float, int], float]:
+        """Figure 14: the full utility surface over (cache, slices)."""
+        return {
+            (cache_kb, slices): self.utility_at(
+                benchmark, utility, market, cache_kb, slices
+            )
+            for cache_kb in self.cache_grid
+            for slices in self.slice_grid
+        }

@@ -1,0 +1,69 @@
+"""Cloud-customer utility functions (paper Section 5.6, Table 5).
+
+A customer's utility is ``U(c, s, v)`` where ``c`` is L2 cache per VCore,
+``s`` Slices per VCore, and ``v`` the number of (virtual) cores bought.
+The paper's three example functions span the throughput/latency spectrum:
+
+* **Utility1** (latency-tolerant, Equation 4): ``U = v * P(c, s)`` -
+  bulk encryption, image resizing, detached MapReduce;
+* **Utility2**: ``U = sqrt(v) * P(c, s)^2`` - mixed preferences;
+* **Utility3** (OLDI, Equation 1): ``U = cbrt(v) * P(c, s)^3`` -
+  query-serving workloads where sub-second latency dominates, analogous
+  to the Energy*Delay^2 / Energy*Delay^3 metrics of the energy
+  literature.
+
+The root on ``v`` keeps the budget's marginal utility comparable across
+the family: all three agree when ``v = 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class UtilityFunction:
+    """``U = v^(1/k) * P^k`` for a performance-preference exponent k."""
+
+    name: str
+    perf_exponent: float
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.perf_exponent <= 0:
+            raise ValueError("performance exponent must be positive")
+
+    def value(self, performance: float, vcores: float) -> float:
+        """Utility of buying ``vcores`` cores each performing at ``performance``."""
+        if performance < 0 or vcores < 0:
+            raise ValueError("performance and vcores cannot be negative")
+        k = self.perf_exponent
+        return (vcores ** (1.0 / k)) * (performance ** k)
+
+    def favors_throughput(self) -> bool:
+        return self.perf_exponent <= 1.0
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: Table 5's three example customers, sorted from throughput-favouring to
+#: single-thread-performance-favouring.
+UTILITY1 = UtilityFunction(
+    name="Utility1",
+    perf_exponent=1.0,
+    description="latency tolerant, throughput oriented (U = v * P)",
+)
+UTILITY2 = UtilityFunction(
+    name="Utility2",
+    perf_exponent=2.0,
+    description="mixed preference (U = sqrt(v) * P^2)",
+)
+UTILITY3 = UtilityFunction(
+    name="Utility3",
+    perf_exponent=3.0,
+    description="OLDI, single-stream latency dominated (U = cbrt(v) * P^3)",
+)
+
+STANDARD_UTILITIES: Tuple[UtilityFunction, ...] = (UTILITY1, UTILITY2, UTILITY3)

@@ -1,0 +1,42 @@
+"""Experiment harness: one runner per paper table and figure.
+
+Each module exposes a ``run()`` returning plain data (rows/series shaped
+like the paper's artefact) and a ``main()`` that prints it.  The
+benchmark suite in ``benchmarks/`` wraps these runners with
+pytest-benchmark so every artefact is regenerated and timed by
+``pytest benchmarks/ --benchmark-only``.
+
+Index (see DESIGN.md section 4):
+
+=========  ==================================================
+fig10/11   Slice area decomposition (with/without 64 KB L2)
+fig12      VCore scalability, 1-8 Slices
+fig13      cache sensitivity, 0 KB-8 MB
+tab4       optimal configs for perf^k/area
+fig14      utility surfaces for gcc/bzip under Utility1/2
+tab6       optimal configs in Markets 1-3 x Utilities 1-3
+fig15      utility gain vs best static fixed architecture
+fig16      utility gain vs heterogeneous multicore
+fig17      datacenter big/small core mix study
+tab7       gcc dynamic phases, dyn vs static gains
+tab8       related-work taxonomy
+parsec     PARSEC on 4 VCores with directory coherence (§3.5, §5.3)
+ablation   operand-network channel count (Section 5.1)
+=========  ==================================================
+"""
+
+from repro.experiments import (  # noqa: F401
+    area_decomposition,
+    scalability,
+    cache_sensitivity,
+    optima,
+    utility_surfaces,
+    markets,
+    static_comparison,
+    hetero_comparison,
+    datacenter_mix,
+    phases,
+    taxonomy,
+    parsec_multivcore,
+    energy_delay,
+)

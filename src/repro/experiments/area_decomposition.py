@@ -1,0 +1,43 @@
+"""Figures 10 and 11: Slice area decomposition.
+
+Regenerates the two published pie-chart decompositions: component shares
+of one Slice without L2 (Figure 10) and of a Slice-plus-64 KB-bank tile
+(Figure 11), plus the aggregate Sharing Overhead called out in each.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.area.model import AreaModel
+
+
+def run(area_model: AreaModel = None) -> Dict[str, Dict[str, float]]:
+    model = area_model or AreaModel()
+    return {
+        "fig10_without_l2": model.decomposition_without_l2(),
+        "fig11_with_l2": model.decomposition_with_l2(),
+        "sharing_overhead_pct": {
+            "without_l2": model.sharing_overhead_pct_without_l2(),
+            "with_l2": model.sharing_overhead_pct_with_l2(),
+        },
+    }
+
+
+def main() -> None:
+    result = run()
+    for figure in ("fig10_without_l2", "fig11_with_l2"):
+        print(f"== {figure} ==")
+        for component, pct in sorted(
+            result[figure].items(), key=lambda kv: -kv[1]
+        ):
+            print(f"  {component:22} {pct:5.1f}%")
+    overhead = result["sharing_overhead_pct"]
+    print(
+        f"Sharing overhead: {overhead['without_l2']:.1f}% of a Slice, "
+        f"{overhead['with_l2']:.1f}% of a Slice+bank tile"
+    )
+
+
+if __name__ == "__main__":
+    main()

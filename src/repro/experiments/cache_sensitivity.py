@@ -1,0 +1,66 @@
+"""Figure 13: performance scaling with cache size.
+
+L2 swept from 0 KB to 8 MB on a fixed 2-Slice VCore, normalised to the
+no-L2 point.  Reproduces the paper's observations: omnetpp is extremely
+cache sensitive, astar/libquantum/gobmk are insensitive, and performance
+can *decrease* with more cache because distant banks add latency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.simulator import simulate
+from repro.perfmodel.model import AnalyticModel, CACHE_GRID_KB
+from repro.trace.generator import make_workload
+from repro.trace.profiles import all_benchmarks
+
+FIXED_SLICES = 2
+
+
+def run(benchmarks: Optional[Sequence[str]] = None,
+        cache_grid: Sequence[float] = CACHE_GRID_KB,
+        model: Optional[AnalyticModel] = None) -> Dict[str, List[float]]:
+    """Normalised performance per cache size, per benchmark."""
+    model = model or AnalyticModel()
+    benchmarks = list(benchmarks or all_benchmarks())
+    return {
+        bench: [
+            model.speedup(bench, c, FIXED_SLICES,
+                          baseline_cache_kb=0, baseline_slices=FIXED_SLICES)
+            for c in cache_grid
+        ]
+        for bench in benchmarks
+    }
+
+
+def run_simulated(benchmark: str = "omnetpp",
+                  cache_grid: Sequence[float] = (0, 256, 1024),
+                  trace_length: int = 4000,
+                  seed: int = 1) -> Dict[float, float]:
+    """Cycle-level anchor points for one benchmark."""
+    warmup, trace = make_workload(benchmark, trace_length, seed=seed)
+    cycles = {
+        c: simulate(trace, num_slices=FIXED_SLICES, l2_cache_kb=c,
+                    warmup_addresses=warmup).cycles
+        for c in cache_grid
+    }
+    base = cycles[cache_grid[0]]
+    return {c: base / cyc for c, cyc in cycles.items()}
+
+
+def main() -> None:
+    series = run()
+    grid = list(CACHE_GRID_KB)
+    print(f"Figure 13: normalised performance vs L2 size "
+          f"({FIXED_SLICES}-Slice VCore, baseline 0 KB)")
+    header = " ".join(
+        f"{int(c)}K" if c < 1024 else f"{int(c / 1024)}M" for c in grid
+    )
+    print("benchmark   " + header)
+    for bench, values in series.items():
+        print(f"{bench:11} " + " ".join(f"{v:4.2f}" for v in values))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Figure 17: datacenter heterogeneity study.
+
+The big/small core ratio is swept against the hmmer/gobmk application
+ratio.  The paper's conclusion: "depending on application mix, different
+ratios of big and small cores are required for optimal performance/area
+efficiency.  A fixed mixture of big and small cores therefore cannot
+always optimally service heterogeneous workloads in the cloud."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.baselines.heterogeneous import HeterogeneousDatacenter
+
+DEFAULT_BIG_FRACTIONS = tuple(i / 10 for i in range(11))
+DEFAULT_APP_FRACTIONS = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+def run(app_a: str = "hmmer", app_b: str = "gobmk",
+        big_fractions: Sequence[float] = DEFAULT_BIG_FRACTIONS,
+        app_fractions: Sequence[float] = DEFAULT_APP_FRACTIONS,
+        datacenter: Optional[HeterogeneousDatacenter] = None) -> Dict:
+    dc = datacenter or HeterogeneousDatacenter(app_a=app_a, app_b=app_b)
+    surfaces = dc.sweep(big_fractions, app_fractions)
+    optima = {
+        app_frac: dc.optimal_big_fraction(app_frac, big_fractions)
+        for app_frac in app_fractions
+    }
+    return {
+        "surfaces": surfaces,
+        "optimal_big_fraction": optima,
+        "apps": (app_a, app_b),
+    }
+
+
+def main() -> None:
+    result = run()
+    app_a, app_b = result["apps"]
+    print(f"Figure 17: big/small core mix serving {app_a}/{app_b}")
+    print(f"  ({app_a} fraction) -> optimal big-core fraction")
+    for app_frac, big_frac in result["optimal_big_fraction"].items():
+        print(f"  {app_frac:4.2f} -> {big_frac:4.2f}")
+    distinct = len(set(result["optimal_big_fraction"].values()))
+    print(f"  distinct optimal mixes across app ratios: {distinct}")
+    print("  (a fixed mixture cannot serve every mix optimally)"
+          if distinct > 1 else "  WARNING: mixes did not diverge")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Extension experiment: Energy*Delay^n optimal configurations.
+
+Paper Section 2.2 motivates its performance-preference utilities through
+the energy literature: "P^2 or P^3 may be very reasonable metrics ...
+these metrics have much similarity to Energy*Delay^2 and Energy*Delay^3
+used in energy efficient computing research."  This experiment closes
+the loop: it computes the ``E*D^n``-optimal VCore configurations from
+the energy model and shows they drift with ``n`` exactly as the
+``perf^k/area`` optima of Table 4 do - bigger exponents buy bigger
+cores.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.area.energy import EnergyModel
+from repro.trace.profiles import all_benchmarks
+
+DELAY_EXPONENTS = (1, 2, 3)
+
+
+def run(benchmarks: Optional[Sequence[str]] = None,
+        model: Optional[EnergyModel] = None
+        ) -> Dict[int, Dict[str, Tuple[float, int]]]:
+    """``{delay_exponent: {benchmark: (cache_kb, slices)}}``."""
+    model = model or EnergyModel()
+    benchmarks = list(benchmarks or all_benchmarks())
+    return {
+        n: {
+            bench: model.best_config(bench, delay_exponent=n)
+            for bench in benchmarks
+        }
+        for n in DELAY_EXPONENTS
+    }
+
+
+def main() -> None:
+    table = run()
+    benches = list(next(iter(table.values())))
+    print("Energy*Delay^n optimal VCore configurations")
+    print("benchmark   " + "  ".join(f"{'E*D^%d' % n:>12}" for n in table))
+    for bench in benches:
+        cells = [
+            f"({int(table[n][bench][0])}K,{table[n][bench][1]}s)"
+            for n in table
+        ]
+        print(f"{bench:11} " + "  ".join(f"{c:>12}" for c in cells))
+    for n in DELAY_EXPONENTS:
+        distinct = len(set(table[n].values()))
+        print(f"E*D^{n}: {distinct} distinct optima across benchmarks")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Table 4: optimal VCore configurations for three efficiency metrics.
+
+Exhaustive search over the Equation 3 space for every benchmark under
+``performance/area``, ``performance^2/area`` and ``performance^3/area``.
+The paper's headline observation - "the optimal configuration varies
+greatly dependent on the efficiency metric" even within one benchmark -
+is what the variance across columns reproduces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.economics.efficiency import (
+    STANDARD_METRICS,
+    EfficiencyMetric,
+    optimal_configuration,
+)
+from repro.trace.profiles import all_benchmarks
+
+
+def run(benchmarks: Optional[Sequence[str]] = None,
+        metrics: Sequence[EfficiencyMetric] = STANDARD_METRICS
+        ) -> Dict[str, Dict[str, Tuple[float, int]]]:
+    """``{metric: {benchmark: (cache_kb, slices)}}``."""
+    benchmarks = list(benchmarks or all_benchmarks())
+    return {
+        metric.name: {
+            bench: (
+                (score := optimal_configuration(bench, metric)).cache_kb,
+                score.slices,
+            )
+            for bench in benchmarks
+        }
+        for metric in metrics
+    }
+
+
+def configuration_diversity(table: Dict[str, Dict[str, Tuple[float, int]]]
+                            ) -> Dict[str, int]:
+    """Distinct optimal configurations per metric - the paper's
+    non-uniformity argument in one number."""
+    return {
+        metric: len(set(row.values())) for metric, row in table.items()
+    }
+
+
+def main() -> None:
+    table = run()
+    print("Table 4: optimal VCore configurations (cache KB, Slices)")
+    benches = list(next(iter(table.values())))
+    print("benchmark   " + "  ".join(f"{m:>20}" for m in table))
+    for bench in benches:
+        cells = [
+            f"({int(table[m][bench][0])}K,{table[m][bench][1]}s)"
+            for m in table
+        ]
+        print(f"{bench:11} " + "  ".join(f"{c:>20}" for c in cells))
+    diversity = configuration_diversity(table)
+    print("distinct optima per metric:", diversity)
+
+
+if __name__ == "__main__":
+    main()

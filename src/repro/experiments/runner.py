@@ -1,0 +1,54 @@
+"""Run every experiment in sequence: ``python -m repro.experiments.runner``."""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments import (
+    area_decomposition,
+    cache_sensitivity,
+    datacenter_mix,
+    energy_delay,
+    hetero_comparison,
+    markets,
+    optima,
+    phases,
+    scalability,
+    static_comparison,
+    taxonomy,
+    utility_surfaces,
+)
+
+#: (name, module) in the paper's presentation order.  The SON ablation is
+#: omitted here because it drives the cycle-level simulator (minutes);
+#: run it directly via ``python -m repro.experiments.ablation_son``.
+EXPERIMENTS = (
+    ("Figures 10-11 (area)", area_decomposition),
+    ("Figure 12 (scalability)", scalability),
+    ("Figure 13 (cache sensitivity)", cache_sensitivity),
+    ("Table 4 (efficiency optima)", optima),
+    ("Figure 14 (utility surfaces)", utility_surfaces),
+    ("Table 6 (markets)", markets),
+    ("Figure 15 (vs static fixed)", static_comparison),
+    ("Figure 16 (vs heterogeneous)", hetero_comparison),
+    ("Figure 17 (datacenter mix)", datacenter_mix),
+    ("Table 7 (dynamic phases)", phases),
+    ("Table 8 (taxonomy)", taxonomy),
+    ("Extension: Energy*Delay^n optima", energy_delay),
+)
+
+
+def main() -> int:
+    for name, module in EXPERIMENTS:
+        print("=" * 72)
+        print(name)
+        print("=" * 72)
+        start = time.time()
+        module.main()
+        print(f"[{time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,68 @@
+"""Figure 12: scalability of VCore performance.
+
+Performance for 1-8 Slices per VCore, normalised to one Slice with a
+128 KB L2 (the paper's baseline).  SPEC benchmarks run single-threaded;
+PARSEC benchmarks run 4 threads on 4 equally configured VCores, so the
+per-VCore speedup is what varies (and is bounded by ~2, Section 5.3).
+
+``run()`` uses the analytic model (the sweep source for the paper-shaped
+curves); ``run_simulated()`` drives the cycle-level simulator on a short
+trace for anchor validation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.simulator import simulate
+from repro.perfmodel.model import AnalyticModel, SLICE_GRID
+from repro.trace.generator import make_workload
+from repro.trace.profiles import all_benchmarks
+
+BASELINE_CACHE_KB = 128.0
+
+
+def run(benchmarks: Optional[Sequence[str]] = None,
+        slice_grid: Sequence[int] = SLICE_GRID,
+        model: Optional[AnalyticModel] = None) -> Dict[str, List[float]]:
+    """Normalised performance per Slice count, per benchmark."""
+    model = model or AnalyticModel()
+    benchmarks = list(benchmarks or all_benchmarks())
+    return {
+        bench: [
+            model.speedup(bench, BASELINE_CACHE_KB, s,
+                          baseline_cache_kb=BASELINE_CACHE_KB,
+                          baseline_slices=1)
+            for s in slice_grid
+        ]
+        for bench in benchmarks
+    }
+
+
+def run_simulated(benchmark: str = "gcc",
+                  slice_grid: Sequence[int] = (1, 2, 4, 8),
+                  trace_length: int = 4000,
+                  seed: int = 1) -> Dict[int, float]:
+    """Cycle-level anchor points for one benchmark."""
+    warmup, trace = make_workload(benchmark, trace_length, seed=seed)
+    cycles = {
+        s: simulate(trace, num_slices=s, l2_cache_kb=BASELINE_CACHE_KB,
+                    warmup_addresses=warmup).cycles
+        for s in slice_grid
+    }
+    base = cycles[slice_grid[0]]
+    return {s: base / c for s, c in cycles.items()}
+
+
+def main() -> None:
+    series = run()
+    grid = list(SLICE_GRID)
+    print("Figure 12: normalised performance vs Slice count "
+          f"(baseline: 1 Slice, {BASELINE_CACHE_KB:.0f} KB)")
+    print("benchmark   " + " ".join(f"s={s}" for s in grid))
+    for bench, values in series.items():
+        print(f"{bench:11} " + " ".join(f"{v:4.2f}" for v in values))
+
+
+if __name__ == "__main__":
+    main()

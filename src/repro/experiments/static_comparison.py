@@ -1,0 +1,51 @@
+"""Figure 15: utility gain over the best static fixed architecture.
+
+All ~1000 pairwise mixes of (benchmark, utility) customers, each pair's
+summed utility on the Sharing Architecture divided by its summed utility
+on the single best static configuration.  The paper reports gains of up
+to 5x.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.economics.comparison import MarketEfficiencyComparison, PairGain
+from repro.trace.profiles import all_benchmarks
+
+
+def run(benchmarks: Optional[Sequence[str]] = None,
+        comparison: Optional[MarketEfficiencyComparison] = None) -> Dict:
+    comparison = comparison or MarketEfficiencyComparison(
+        list(benchmarks or all_benchmarks())
+    )
+    gains: List[PairGain] = comparison.gains_vs_static()
+    return {
+        "static_config": comparison.best_static_config(),
+        "gains": gains,
+        "summary": comparison.summarize(gains),
+    }
+
+
+def main() -> None:
+    result = run()
+    cache_kb, slices = result["static_config"]
+    summary = result["summary"]
+    print("Figure 15: utility gain vs best static fixed architecture")
+    print(f"  reference config: {int(cache_kb)} KB L2, {slices} Slices")
+    print(f"  pairs: {summary['pairs']}")
+    print(f"  gain min/median/mean/max: "
+          f"{summary['min']:.2f} / {summary['median']:.2f} / "
+          f"{summary['mean']:.2f} / {summary['max']:.2f}")
+    # Histogram, mirroring the paper's scatter density.
+    buckets = [0] * 10
+    for g in result["gains"]:
+        buckets[min(9, int(g.gain))] += 1
+    for i, count in enumerate(buckets):
+        if count:
+            print(f"  gain {i}-{i + 1}x: {'#' * max(1, count // 20)} "
+                  f"({count})")
+
+
+if __name__ == "__main__":
+    main()

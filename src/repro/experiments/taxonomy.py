@@ -1,0 +1,107 @@
+"""Table 8: taxonomy of differences with related work.
+
+The paper's feature comparison across nine architecture families.
+Encoded as data so it can be queried and tested; "Y/N" cells (features
+present in some members of a family) are ``None``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+#: Feature rows of Table 8.
+FEATURES = (
+    "scale_up_down",
+    "distributed",
+    "switched",
+    "symmetric",
+    "dynamic_ooo",
+    "isa_compatible",
+    "partition_l2",
+    "multi_metric",
+)
+
+#: Architecture columns of Table 8.  ``None`` encodes the paper's "Y/N".
+TAXONOMY: Dict[str, Dict[str, Optional[bool]]] = {
+    "distributed_ilp": {
+        "scale_up_down": True, "distributed": True, "switched": True,
+        "symmetric": True, "dynamic_ooo": False, "isa_compatible": True,
+        "partition_l2": True, "multi_metric": False,
+    },
+    "trips_clp": {
+        "scale_up_down": True, "distributed": True, "switched": True,
+        "symmetric": True, "dynamic_ooo": False, "isa_compatible": False,
+        "partition_l2": True, "multi_metric": True,
+    },
+    "core_fusion": {
+        "scale_up_down": False, "distributed": False, "switched": False,
+        "symmetric": True, "dynamic_ooo": True, "isa_compatible": True,
+        "partition_l2": False, "multi_metric": False,
+    },
+    "widget": {
+        "scale_up_down": True, "distributed": False, "switched": False,
+        "symmetric": True, "dynamic_ooo": False, "isa_compatible": True,
+        "partition_l2": False, "multi_metric": False,
+    },
+    "conjoined": {
+        "scale_up_down": False, "distributed": False, "switched": False,
+        "symmetric": True, "dynamic_ooo": True, "isa_compatible": True,
+        "partition_l2": False, "multi_metric": False,
+    },
+    "clustered": {
+        "scale_up_down": False, "distributed": False, "switched": False,
+        "symmetric": True, "dynamic_ooo": True, "isa_compatible": True,
+        "partition_l2": False, "multi_metric": False,
+    },
+    "heterogeneous": {
+        "scale_up_down": False, "distributed": False, "switched": False,
+        "symmetric": False, "dynamic_ooo": None, "isa_compatible": True,
+        "partition_l2": False, "multi_metric": False,
+    },
+    "smt_morph": {
+        "scale_up_down": False, "distributed": False, "switched": False,
+        "symmetric": True, "dynamic_ooo": None, "isa_compatible": True,
+        "partition_l2": False, "multi_metric": False,
+    },
+    "sharing": {
+        "scale_up_down": True, "distributed": True, "switched": True,
+        "symmetric": True, "dynamic_ooo": True, "isa_compatible": True,
+        "partition_l2": True, "multi_metric": True,
+    },
+}
+
+
+def run() -> Dict[str, Dict[str, Optional[bool]]]:
+    return TAXONOMY
+
+
+def unique_advantages(architecture: str = "sharing") -> List[str]:
+    """Features this architecture has that no other column has in full."""
+    ours = TAXONOMY[architecture]
+    return [
+        feature
+        for feature in FEATURES
+        if ours[feature] is True
+        and all(
+            other[feature] is not True
+            for name, other in TAXONOMY.items()
+            if name != architecture
+        )
+    ]
+
+
+def main() -> None:
+    def cell(v: Optional[bool]) -> str:
+        return "Y/N" if v is None else ("Y" if v else "N")
+
+    print("Table 8: taxonomy of differences with related work")
+    print(f"{'feature':16}" + "".join(f"{a[:9]:>10}" for a in TAXONOMY))
+    for feature in FEATURES:
+        row = "".join(f"{cell(TAXONOMY[a][feature]):>10}" for a in TAXONOMY)
+        print(f"{feature:16}" + row)
+    print("\nThe Sharing Architecture is the only column answering Y to "
+          "every feature.")
+
+
+if __name__ == "__main__":
+    main()

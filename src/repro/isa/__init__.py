@@ -1,0 +1,29 @@
+"""Instruction-set substrate for the Sharing Architecture simulator.
+
+The paper's SSim consumes GEM5 Alpha traces; this package defines the
+equivalent abstract RISC instruction record that our synthetic trace
+generator emits and the cycle-level simulator (:mod:`repro.core`) consumes.
+"""
+
+from repro.isa.opcodes import OpClass, Opcode, OPCODE_CLASS, EXEC_LATENCY
+from repro.isa.registers import (
+    NUM_ARCH_REGS,
+    ZERO_REG,
+    ArchReg,
+    RegisterFileSpec,
+)
+from repro.isa.instructions import Instruction, MemAccess, nop
+
+__all__ = [
+    "OpClass",
+    "Opcode",
+    "OPCODE_CLASS",
+    "EXEC_LATENCY",
+    "NUM_ARCH_REGS",
+    "ZERO_REG",
+    "ArchReg",
+    "RegisterFileSpec",
+    "Instruction",
+    "MemAccess",
+    "nop",
+]

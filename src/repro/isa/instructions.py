@@ -1,0 +1,119 @@
+"""Dynamic instruction records.
+
+An :class:`Instruction` is one element of a dynamic trace: a decoded
+instruction instance with resolved branch direction and effective memory
+address, which is exactly the information SSim needs (the paper drives SSim
+from full-system GEM5 traces, Section 5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.isa.opcodes import OPCODE_CLASS, OpClass, Opcode
+from repro.isa.registers import ZERO_REG
+
+
+@dataclass(frozen=True)
+class MemAccess:
+    """Effective memory access of a load or store."""
+
+    address: int
+    size: int = 8
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise ValueError("negative memory address")
+        if self.size <= 0:
+            raise ValueError("access size must be positive")
+
+    def cache_line(self, line_size: int = 64) -> int:
+        return self.address // line_size
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A single dynamic instruction.
+
+    Attributes
+    ----------
+    seq:
+        Position in the dynamic instruction stream (program order).
+    pc:
+        Program counter of the static instruction.
+    opcode:
+        Concrete opcode; its :class:`OpClass` decides the functional unit.
+    srcs:
+        Architectural source register numbers (reads of ``ZERO_REG`` carry
+        no dependence).
+    dst:
+        Architectural destination register, or ``None``.
+    mem:
+        Resolved memory access for loads/stores.
+    taken / target:
+        Resolved direction and target for branches.
+    """
+
+    seq: int
+    pc: int
+    opcode: Opcode
+    srcs: Tuple[int, ...] = ()
+    dst: Optional[int] = None
+    mem: Optional[MemAccess] = None
+    taken: bool = False
+    target: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        cls = self.op_class
+        if cls.is_memory and self.mem is None:
+            raise ValueError(f"{self.opcode} requires a memory access")
+        if not cls.is_memory and self.mem is not None:
+            raise ValueError(f"{self.opcode} cannot carry a memory access")
+        if cls is OpClass.BRANCH and self.taken and self.target is None:
+            raise ValueError("taken branch requires a target")
+        for reg in self.srcs:
+            if reg < 0:
+                raise ValueError("negative source register")
+        if self.dst is not None and self.dst < 0:
+            raise ValueError("negative destination register")
+
+    @property
+    def op_class(self) -> OpClass:
+        return OPCODE_CLASS[self.opcode]
+
+    @property
+    def is_branch(self) -> bool:
+        return self.op_class is OpClass.BRANCH
+
+    @property
+    def is_load(self) -> bool:
+        return self.op_class is OpClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.op_class is OpClass.STORE
+
+    @property
+    def is_mem(self) -> bool:
+        return self.op_class.is_memory
+
+    @property
+    def writes_register(self) -> bool:
+        return self.dst is not None and self.dst != ZERO_REG
+
+    def live_srcs(self) -> Tuple[int, ...]:
+        """Source registers that carry a true dependence."""
+        return tuple(r for r in self.srcs if r != ZERO_REG)
+
+    def next_pc(self) -> int:
+        """PC of the successor instruction in the dynamic stream."""
+        if self.is_branch and self.taken:
+            assert self.target is not None
+            return self.target
+        return self.pc + 1
+
+
+def nop(seq: int = 0, pc: int = 0) -> Instruction:
+    """A no-operation filler instruction."""
+    return Instruction(seq=seq, pc=pc, opcode=Opcode.NOP)

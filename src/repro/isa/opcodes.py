@@ -1,0 +1,110 @@
+"""Opcode and operation-class definitions.
+
+The Sharing Architecture Slice (paper Figure 4, Table 2) contains one ALU,
+one multiplier, and one load/store unit.  The simulator therefore only needs
+to distinguish operation *classes* with distinct execution resources and
+latencies; the concrete opcodes exist so traces read naturally and so
+per-opcode statistics can be gathered.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class OpClass(enum.Enum):
+    """Execution resource class of an instruction."""
+
+    ALU = "alu"
+    MUL = "mul"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    NOP = "nop"
+
+    @property
+    def is_memory(self) -> bool:
+        return self in (OpClass.LOAD, OpClass.STORE)
+
+    @property
+    def uses_alu(self) -> bool:
+        """Branches and ALU ops contend for the single ALU in a Slice."""
+        return self in (OpClass.ALU, OpClass.BRANCH, OpClass.MUL)
+
+
+class Opcode(enum.Enum):
+    """Concrete opcodes of the abstract RISC ISA."""
+
+    ADD = "add"
+    SUB = "sub"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+    CMP = "cmp"
+    MOV = "mov"
+    MUL = "mul"
+    LD = "ld"
+    ST = "st"
+    BEQ = "beq"
+    BNE = "bne"
+    BLT = "blt"
+    BGE = "bge"
+    JMP = "jmp"
+    NOP = "nop"
+
+
+#: Mapping from opcode to its execution class.
+OPCODE_CLASS = {
+    Opcode.ADD: OpClass.ALU,
+    Opcode.SUB: OpClass.ALU,
+    Opcode.AND: OpClass.ALU,
+    Opcode.OR: OpClass.ALU,
+    Opcode.XOR: OpClass.ALU,
+    Opcode.SHL: OpClass.ALU,
+    Opcode.SHR: OpClass.ALU,
+    Opcode.CMP: OpClass.ALU,
+    Opcode.MOV: OpClass.ALU,
+    Opcode.MUL: OpClass.MUL,
+    Opcode.LD: OpClass.LOAD,
+    Opcode.ST: OpClass.STORE,
+    Opcode.BEQ: OpClass.BRANCH,
+    Opcode.BNE: OpClass.BRANCH,
+    Opcode.BLT: OpClass.BRANCH,
+    Opcode.BGE: OpClass.BRANCH,
+    Opcode.JMP: OpClass.BRANCH,
+    Opcode.NOP: OpClass.NOP,
+}
+
+#: Execution latency (cycles spent in the functional unit) per class.
+#: Loads/stores additionally pay cache latency; see :mod:`repro.cache`.
+EXEC_LATENCY = {
+    OpClass.ALU: 1,
+    OpClass.MUL: 3,
+    OpClass.LOAD: 1,
+    OpClass.STORE: 1,
+    OpClass.BRANCH: 1,
+    OpClass.NOP: 1,
+}
+
+#: Opcodes grouped by class, used by the synthetic trace generator to pick
+#: a concrete opcode once the class has been decided.
+CLASS_OPCODES = {
+    OpClass.ALU: [
+        Opcode.ADD,
+        Opcode.SUB,
+        Opcode.AND,
+        Opcode.OR,
+        Opcode.XOR,
+        Opcode.SHL,
+        Opcode.SHR,
+        Opcode.CMP,
+        Opcode.MOV,
+    ],
+    OpClass.MUL: [Opcode.MUL],
+    OpClass.LOAD: [Opcode.LD],
+    OpClass.STORE: [Opcode.ST],
+    OpClass.BRANCH: [Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE],
+    OpClass.NOP: [Opcode.NOP],
+}

@@ -1,0 +1,54 @@
+"""Architectural register-file specification.
+
+The paper's Slice (Table 2) exposes an Alpha-like architectural register
+space which is renamed twice: first into a *global logical* space shared by
+all Slices of a VCore (sized for the maximum 8-Slice configuration), then
+into the per-Slice Local Register File (LRF, 64 entries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Number of architectural (ISA-visible) integer registers.
+NUM_ARCH_REGS = 32
+
+#: Register number hard-wired to zero (reads are free, writes discarded).
+ZERO_REG = 0
+
+#: Type alias used throughout for architectural register numbers.
+ArchReg = int
+
+
+@dataclass(frozen=True)
+class RegisterFileSpec:
+    """Sizing of the rename spaces in a VCore.
+
+    Defaults follow paper Table 2: 128 global physical (logical) registers
+    per VCore and 64 local registers per Slice.
+    """
+
+    num_arch: int = NUM_ARCH_REGS
+    num_global_logical: int = 128
+    num_local_per_slice: int = 64
+
+    def __post_init__(self) -> None:
+        if self.num_arch < 1:
+            raise ValueError("need at least one architectural register")
+        if self.num_global_logical < self.num_arch:
+            raise ValueError(
+                "global logical space must cover the architectural space "
+                f"({self.num_global_logical} < {self.num_arch})"
+            )
+        if self.num_local_per_slice < 1:
+            raise ValueError("each Slice needs local registers")
+
+    def total_local(self, num_slices: int) -> int:
+        """Physical registers available to a VCore of ``num_slices`` Slices.
+
+        The paper's key scaling property: LRF capacity grows with the
+        number of Slices (Section 3.2.2).
+        """
+        if num_slices < 1:
+            raise ValueError("a VCore has at least one Slice")
+        return self.num_local_per_slice * num_slices

@@ -1,0 +1,39 @@
+"""On-chip interconnect substrate.
+
+The Sharing Architecture relies on three dedicated 2-D switched networks
+(paper Section 5.1): a Scalar Operand Network for operand request/reply
+traffic, a load/store sorting network, and a global-rename network.  All
+three share the latency model of the Raw/Tilera on-chip networks the paper
+adopts (Section 3.4): two cycles between nearest-neighbour Slices plus one
+cycle for each additional hop.
+"""
+
+from repro.network.topology import Mesh2D, Coord
+from repro.network.messages import (
+    Message,
+    MessageKind,
+    OperandRequest,
+    OperandReply,
+    WakeupSignal,
+    RenameBroadcast,
+    MemSortMessage,
+    CacheRequest,
+    CacheReply,
+)
+from repro.network.switched import SwitchedNetwork, NetworkStats
+
+__all__ = [
+    "Mesh2D",
+    "Coord",
+    "Message",
+    "MessageKind",
+    "OperandRequest",
+    "OperandReply",
+    "WakeupSignal",
+    "RenameBroadcast",
+    "MemSortMessage",
+    "CacheRequest",
+    "CacheReply",
+    "SwitchedNetwork",
+    "NetworkStats",
+]

@@ -1,0 +1,108 @@
+"""Typed messages carried on the three Sharing Architecture networks.
+
+Paper Section 5.1: "there are three dedicated networks modeled for
+different purposes (operand network, load/store sorting, and global
+renaming)".  The cache hierarchy additionally uses the switched dynamic
+network for L1-miss traffic (Section 3.5).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class MessageKind(enum.Enum):
+    OPERAND_REQUEST = "operand_request"
+    OPERAND_REPLY = "operand_reply"
+    WAKEUP = "wakeup"
+    RENAME_BROADCAST = "rename_broadcast"
+    MEM_SORT = "mem_sort"
+    CACHE_REQUEST = "cache_request"
+    CACHE_REPLY = "cache_reply"
+    MISPREDICT_FLUSH = "mispredict_flush"
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base network message: source/destination node ids plus send time."""
+
+    src: int
+    dst: int
+    sent_cycle: int
+
+    #: Overridden by each concrete message type.
+    kind = MessageKind.OPERAND_REQUEST
+
+    def __post_init__(self) -> None:
+        if self.sent_cycle < 0:
+            raise ValueError("messages cannot be sent before cycle 0")
+
+
+@dataclass(frozen=True)
+class OperandRequest(Message):
+    """Request for the value of a global logical register held remotely."""
+
+    global_reg: int = 0
+    consumer_seq: int = 0
+    kind = MessageKind.OPERAND_REQUEST
+
+
+@dataclass(frozen=True)
+class OperandReply(Message):
+    """Reply carrying a produced operand value back to the requester."""
+
+    global_reg: int = 0
+    consumer_seq: int = 0
+    kind = MessageKind.OPERAND_REPLY
+
+
+@dataclass(frozen=True)
+class WakeupSignal(Message):
+    """One-cycle-early wakeup: the remote producer has issued.
+
+    Paper Section 3.3: a wake-up signal is sent when the producing
+    instruction issues, the cycle before it executes, so the consumer can
+    leave the issue window just in time for the arriving operand.
+    """
+
+    global_reg: int = 0
+    kind = MessageKind.WAKEUP
+
+
+@dataclass(frozen=True)
+class RenameBroadcast(Message):
+    """Master-Slice broadcast of a rename mapping (arch -> global)."""
+
+    arch_reg: int = 0
+    global_reg: int = 0
+    producer_seq: int = 0
+    kind = MessageKind.RENAME_BROADCAST
+
+
+@dataclass(frozen=True)
+class MemSortMessage(Message):
+    """A load/store routed to its address-interleaved home Slice."""
+
+    address: int = 0
+    is_store: bool = False
+    inst_seq: int = 0
+    kind = MessageKind.MEM_SORT
+
+
+@dataclass(frozen=True)
+class CacheRequest(Message):
+    """L1-miss request to a remote L2 bank."""
+
+    address: int = 0
+    is_write: bool = False
+    kind = MessageKind.CACHE_REQUEST
+
+
+@dataclass(frozen=True)
+class CacheReply(Message):
+    """Fill data returning from an L2 bank (or from memory via the bank)."""
+
+    address: int = 0
+    hit: bool = True
+    kind = MessageKind.CACHE_REPLY

@@ -1,0 +1,87 @@
+"""2-D mesh topology with dimension-order routing.
+
+The Sharing Architecture fabric is a 2-D array of Slices and Cache Banks
+(paper Figure 3) connected by switched interconnects.  Routing is X-then-Y
+dimension order, matching the Tilera-style networks the paper models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+Coord = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class Mesh2D:
+    """A ``width`` x ``height`` mesh of tiles addressed by integer node id.
+
+    Node ids are row-major: node ``(x, y)`` has id ``y * width + x``.
+    """
+
+    width: int
+    height: int
+
+    def __post_init__(self) -> None:
+        if self.width < 1 or self.height < 1:
+            raise ValueError("mesh dimensions must be positive")
+
+    @property
+    def num_nodes(self) -> int:
+        return self.width * self.height
+
+    def contains(self, node: int) -> bool:
+        return 0 <= node < self.num_nodes
+
+    def coords(self, node: int) -> Coord:
+        if not self.contains(node):
+            raise ValueError(f"node {node} outside mesh of {self.num_nodes}")
+        return node % self.width, node // self.width
+
+    def node_at(self, x: int, y: int) -> int:
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise ValueError(f"({x}, {y}) outside {self.width}x{self.height} mesh")
+        return y * self.width + x
+
+    def distance(self, src: int, dst: int) -> int:
+        """Manhattan hop count between two nodes."""
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        return abs(sx - dx) + abs(sy - dy)
+
+    def route(self, src: int, dst: int) -> List[Tuple[int, int]]:
+        """Links traversed by X-then-Y dimension-order routing."""
+        links: List[Tuple[int, int]] = []
+        cur = src
+        cx, cy = self.coords(src)
+        dx, dy = self.coords(dst)
+        while cx != dx:
+            step = 1 if dx > cx else -1
+            nxt = self.node_at(cx + step, cy)
+            links.append((cur, nxt))
+            cur, cx = nxt, cx + step
+        while cy != dy:
+            step = 1 if dy > cy else -1
+            nxt = self.node_at(cx, cy + step)
+            links.append((cur, nxt))
+            cur, cy = nxt, cy + step
+        return links
+
+    def neighbors(self, node: int) -> Iterator[int]:
+        x, y = self.coords(node)
+        if x > 0:
+            yield self.node_at(x - 1, y)
+        if x < self.width - 1:
+            yield self.node_at(x + 1, y)
+        if y > 0:
+            yield self.node_at(x, y - 1)
+        if y < self.height - 1:
+            yield self.node_at(x, y + 1)
+
+    def row(self, y: int, start_x: int = 0, count: int = 0) -> List[int]:
+        """Node ids of a contiguous horizontal run (VCore Slice placement)."""
+        count = count or self.width - start_x
+        if start_x + count > self.width:
+            raise ValueError("row run exceeds mesh width")
+        return [self.node_at(start_x + i, y) for i in range(count)]

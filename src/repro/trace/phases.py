@@ -1,0 +1,123 @@
+"""Program-phase modelling.
+
+Paper Section 5.10 studies program phases by dividing gcc into 10 equal
+segments, simulating each independently, and reconfiguring the VCore at
+phase boundaries (10 000 cycles when the L2 configuration changes, 500
+cycles when only the Slice count changes).
+
+A :class:`PhasedProfile` is an ordered list of per-phase
+:class:`~repro.trace.profiles.BenchmarkProfile` variants plus the number of
+instructions in each phase.  The phase variants for gcc sweep from
+cache-hungry, ILP-rich early phases to lean, low-ILP late phases so that
+the optimal VCore configuration drifts across phases as in Table 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.trace.profiles import BenchmarkProfile, get_profile
+
+#: Reconfiguration penalty when the L2 allocation changes (cycles).
+#: The L2 banks must be flushed to memory (paper Sections 3.8, 5.10).
+RECONFIG_CACHE_CYCLES = 10_000
+#: Reconfiguration penalty when only the Slice count changes (cycles).
+#: Only a Register Flush over the operand network is needed.
+RECONFIG_SLICE_CYCLES = 500
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One program phase: a profile variant plus its instruction count."""
+
+    index: int
+    profile: BenchmarkProfile
+    instructions: int
+
+    def __post_init__(self) -> None:
+        if self.instructions <= 0:
+            raise ValueError("phase must contain instructions")
+
+
+class PhasedProfile:
+    """An ordered sequence of program phases for one benchmark."""
+
+    def __init__(self, name: str, phases: Sequence[Phase]):
+        if not phases:
+            raise ValueError("need at least one phase")
+        for expected, phase in enumerate(phases):
+            if phase.index != expected:
+                raise ValueError("phase indices must be 0..n-1 in order")
+        self.name = name
+        self.phases: Tuple[Phase, ...] = tuple(phases)
+
+    def __len__(self) -> int:
+        return len(self.phases)
+
+    def __iter__(self):
+        return iter(self.phases)
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(p.instructions for p in self.phases)
+
+    def reconfiguration_cost(
+        self,
+        configs: Sequence[Tuple[float, int]],
+    ) -> int:
+        """Total reconfiguration cycles for a per-phase schedule.
+
+        ``configs`` is one ``(cache_kb, slices)`` pair per phase.  A change
+        in cache allocation costs :data:`RECONFIG_CACHE_CYCLES`; a change
+        in Slice count alone costs :data:`RECONFIG_SLICE_CYCLES`.
+        """
+        if len(configs) != len(self.phases):
+            raise ValueError(
+                f"need {len(self.phases)} configs, got {len(configs)}"
+            )
+        total = 0
+        for prev, cur in zip(configs, configs[1:]):
+            prev_cache, prev_slices = prev
+            cur_cache, cur_slices = cur
+            if cur_cache != prev_cache:
+                total += RECONFIG_CACHE_CYCLES
+            elif cur_slices != prev_slices:
+                total += RECONFIG_SLICE_CYCLES
+        return total
+
+
+#: Per-phase modifiers for gcc, ordered phase 1..10.  Early phases carry
+#: more ILP and a larger working set; late phases are lean (paper Table 7
+#: shows optimal configurations shrinking across phases).
+_GCC_PHASE_MODIFIERS = [
+    # (ilp_scale, ws_scale, l1_mpki_scale, comm_scale)
+    (1.50, 2.20, 1.50, 0.70),
+    (1.40, 1.80, 1.30, 0.75),
+    (1.30, 1.50, 1.20, 0.80),
+    (1.15, 1.70, 1.15, 0.90),
+    (1.20, 2.00, 1.30, 0.85),
+    (0.95, 0.80, 0.90, 1.05),
+    (1.10, 1.40, 1.05, 0.90),
+    (0.70, 0.40, 0.60, 1.35),
+    (0.60, 0.30, 0.45, 1.50),
+    (0.85, 0.60, 0.80, 1.20),
+]
+
+
+def gcc_phases(instructions_per_phase: int = 2_000_000) -> PhasedProfile:
+    """The 10-phase decomposition of gcc used in paper Table 7."""
+    base = get_profile("gcc")
+    phases: List[Phase] = []
+    for idx, (ilp_s, ws_s, mpki_s, comm_s) in enumerate(_GCC_PHASE_MODIFIERS):
+        variant = base.with_overrides(
+            name=f"gcc.phase{idx + 1}",
+            ilp=max(1.0, base.ilp * ilp_s),
+            l2_ws_kb=base.l2_ws_kb * ws_s,
+            l1_mpki=base.l1_mpki * mpki_s,
+            comm_sens=min(1.0, base.comm_sens * comm_s),
+        )
+        phases.append(
+            Phase(index=idx, profile=variant, instructions=instructions_per_phase)
+        )
+    return PhasedProfile("gcc", phases)

@@ -1,0 +1,107 @@
+"""Tests for the area model (Figures 10-11)."""
+
+import pytest
+
+from repro.area.cacti import CactiLite
+from repro.area.components import (
+    FIG10_PERCENTAGES,
+    SHARING_OVERHEAD_COMPONENTS,
+    SliceComponent,
+    normalized_fractions,
+    sharing_overhead_fraction,
+)
+from repro.area.model import AreaModel
+
+
+class TestComponents:
+    def test_fig10_caches_dominate(self):
+        """Figure 10: L1I and L1D are 24% each of the Slice."""
+        assert FIG10_PERCENTAGES[SliceComponent.L1_ICACHE] == 24.0
+        assert FIG10_PERCENTAGES[SliceComponent.L1_DCACHE] == 24.0
+
+    def test_normalized_fractions_sum_to_one(self):
+        assert abs(sum(normalized_fractions().values()) - 1.0) < 1e-12
+
+    def test_sharing_overhead_near_published_8pct(self):
+        """Paper Figure 10 calls out ~8% Sharing overhead."""
+        assert 0.07 <= sharing_overhead_fraction() <= 0.09
+
+    def test_overhead_components_are_composition_logic(self):
+        assert SliceComponent.ROUTERS in SHARING_OVERHEAD_COMPONENTS
+        assert SliceComponent.GLOBAL_RENAME in SHARING_OVERHEAD_COMPONENTS
+        assert SliceComponent.L1_DCACHE not in SHARING_OVERHEAD_COMPONENTS
+
+
+class TestCactiLite:
+    def test_area_scales_with_capacity(self):
+        cacti = CactiLite()
+        assert cacti.area_mm2(128) > cacti.area_mm2(64) > cacti.area_mm2(16)
+
+    def test_zero_size_is_zero_area(self):
+        assert CactiLite().area_mm2(0) == 0.0
+
+    def test_64kb_bank_near_fig11_ratio(self):
+        """Figure 11: a 64 KB bank is ~35% of a Slice+bank tile."""
+        model = AreaModel()
+        bank = model.cacti.area_mm2(64, assoc=4)
+        ratio = bank / (model.slice_area_mm2 + bank)
+        assert 0.30 <= ratio <= 0.40
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            CactiLite().area_mm2(-1)
+
+    def test_access_energy_monotone(self):
+        cacti = CactiLite()
+        assert cacti.access_energy_nj(1024) > cacti.access_energy_nj(64)
+
+
+class TestAreaModel:
+    def test_market_equivalence(self):
+        """Section 5.7: 1 Slice costs the same as 128 KB cache."""
+        model = AreaModel()
+        assert 2 * model.l2_bank_area_mm2 == pytest.approx(
+            model.slice_area_mm2
+        )
+
+    def test_vcore_area_composition(self):
+        model = AreaModel()
+        base = model.vcore_area(0, 1)
+        assert model.vcore_area(128, 1) == pytest.approx(2 * base)
+        assert model.vcore_area(0, 2) == pytest.approx(2 * base)
+
+    def test_uncore_is_optional(self):
+        model = AreaModel()
+        assert (model.vcore_area(0, 1, include_uncore=True)
+                > model.vcore_area(0, 1))
+
+    def test_decomposition_without_l2_sums_to_100(self):
+        shares = AreaModel().decomposition_without_l2()
+        assert abs(sum(shares.values()) - 100.0) < 1e-9
+
+    def test_decomposition_with_l2_sums_to_100(self):
+        shares = AreaModel().decomposition_with_l2()
+        assert abs(sum(shares.values()) - 100.0) < 1e-9
+        assert 30 <= shares["l2_dcache_64kb"] <= 40
+
+    def test_sharing_overhead_shrinks_with_l2(self):
+        """Figure 11: overhead drops to ~5% once the bank is counted."""
+        model = AreaModel()
+        assert (model.sharing_overhead_pct_with_l2()
+                < model.sharing_overhead_pct_without_l2())
+        assert 4.0 <= model.sharing_overhead_pct_with_l2() <= 7.0
+
+    def test_chip_area(self):
+        model = AreaModel()
+        assert model.chip_area(100, 200) == pytest.approx(
+            100 * model.slice_area_mm2 + 200 * model.l2_bank_area_mm2
+        )
+
+    def test_validation(self):
+        model = AreaModel()
+        with pytest.raises(ValueError):
+            model.vcore_area(-1, 1)
+        with pytest.raises(ValueError):
+            model.vcore_area(0, 0)
+        with pytest.raises(ValueError):
+            model.chip_area(-1, 0)

@@ -1,0 +1,84 @@
+"""Tests for the energy model."""
+
+import pytest
+
+from repro.area.energy import EnergyModel, EnergyParameters
+from repro.perfmodel.model import CACHE_GRID_KB, SLICE_GRID
+from repro.trace import all_benchmarks
+
+
+@pytest.fixture(scope="module")
+def model():
+    return EnergyModel()
+
+
+class TestEnergyPerInstruction:
+    def test_positive_everywhere(self, model):
+        for bench in ("gcc", "mcf", "swaptions"):
+            for cache_kb in (0, 256, 4096):
+                for slices in (1, 4, 8):
+                    b = model.energy_per_instruction(bench, cache_kb, slices)
+                    assert b.total > 0
+                    assert all(v >= 0 for v in b.as_dict().values())
+
+    def test_total_is_component_sum(self, model):
+        b = model.energy_per_instruction("gcc", 512, 4)
+        assert b.total == pytest.approx(sum(b.as_dict().values()))
+
+    def test_memory_energy_falls_with_cache(self, model):
+        """A hit in a nearby bank is far cheaper than a DRAM trip."""
+        none = model.energy_per_instruction("omnetpp", 0, 2)
+        big = model.energy_per_instruction("omnetpp", 2048, 2)
+        assert big.memory < none.memory
+
+    def test_network_energy_grows_with_slices(self, model):
+        one = model.energy_per_instruction("gcc", 256, 1)
+        eight = model.energy_per_instruction("gcc", 256, 8)
+        assert one.network == 0.0
+        assert eight.network > 0.0
+
+    def test_leakage_grows_with_area(self, model):
+        small = model.energy_per_instruction("gcc", 0, 1)
+        # Same performance-ish, much more area: leakage dominates more.
+        large = model.energy_per_instruction("gcc", 8192, 1)
+        assert large.leakage > small.leakage
+
+    def test_memory_bound_benchmark_spends_more_on_memory(self, model):
+        mcf = model.energy_per_instruction("mcf", 128, 2)
+        sjeng = model.energy_per_instruction("sjeng", 128, 2)
+        assert mcf.memory > sjeng.memory
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError):
+            model.energy_per_instruction("gcc", -1, 1)
+        with pytest.raises(ValueError):
+            model.energy_per_instruction("gcc", 0, 0)
+
+
+class TestEnergyDelay:
+    def test_ed2_prefers_bigger_cores_than_ed0(self, model):
+        """Weighting delay more buys performance with energy - the same
+        drift as the paper's perf^k/area metrics."""
+        e_only = model.best_config("gcc", delay_exponent=0)
+        ed3 = model.best_config("gcc", delay_exponent=3)
+        assert ed3[1] >= e_only[1]
+
+    def test_best_config_is_grid_minimum(self, model):
+        best = model.best_config("hmmer", delay_exponent=2)
+        best_value = model.energy_delay("hmmer", best[0], best[1], 2)
+        for c in CACHE_GRID_KB:
+            for s in SLICE_GRID:
+                assert model.energy_delay("hmmer", c, s, 2) >= (
+                    best_value - 1e-12
+                )
+
+    def test_optima_vary_across_benchmarks(self, model):
+        configs = {
+            model.best_config(bench, delay_exponent=2)
+            for bench in ("gcc", "hmmer", "omnetpp", "libquantum")
+        }
+        assert len(configs) >= 2
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError):
+            model.energy_delay("gcc", 128, 1, delay_exponent=-1)

@@ -1,0 +1,97 @@
+"""Tests for the MSI directory (inter-VCore coherence)."""
+
+import pytest
+
+from repro.cache.coherence import CoherenceState, Directory
+
+
+class TestReadPaths:
+    def test_cold_read_goes_shared(self):
+        d = Directory()
+        outcome = d.read(line=1, vcore=0)
+        assert outcome.extra_latency == 0
+        assert d.state_of(1) is CoherenceState.SHARED
+        assert d.sharers_of(1) == {0}
+
+    def test_multiple_readers_share(self):
+        d = Directory()
+        d.read(1, 0)
+        d.read(1, 1)
+        assert d.sharers_of(1) == {0, 1}
+        assert d.state_of(1) is CoherenceState.SHARED
+
+    def test_read_after_remote_write_downgrades(self):
+        d = Directory()
+        d.write(1, 0)
+        outcome = d.read(1, 1)
+        assert outcome.extra_latency > 0
+        assert d.state_of(1) is CoherenceState.SHARED
+        assert d.stats.downgrades == 1
+
+    def test_owner_rereads_for_free(self):
+        d = Directory()
+        d.write(1, 0)
+        outcome = d.read(1, 0)
+        assert outcome.extra_latency == 0
+        assert d.state_of(1) is CoherenceState.MODIFIED
+
+
+class TestWritePaths:
+    def test_cold_write_goes_modified(self):
+        d = Directory()
+        outcome = d.write(1, 0)
+        assert outcome.extra_latency == 0
+        assert d.state_of(1) is CoherenceState.MODIFIED
+
+    def test_write_invalidates_sharers(self):
+        d = Directory()
+        d.read(1, 0)
+        d.read(1, 1)
+        outcome = d.write(1, 2)
+        assert set(outcome.invalidated_vcores) == {0, 1}
+        assert d.sharers_of(1) == {2}
+        assert d.stats.invalidations_sent == 2
+
+    def test_write_steals_ownership(self):
+        d = Directory()
+        d.write(1, 0)
+        outcome = d.write(1, 1)
+        assert 0 in outcome.invalidated_vcores
+        assert d.state_of(1) is CoherenceState.MODIFIED
+        assert d.sharers_of(1) == {1}
+
+    def test_invalidation_latency_scales_with_distance(self):
+        near = Directory(distance_fn=lambda a, b: 1)
+        far = Directory(distance_fn=lambda a, b: 6)
+        near.read(1, 0)
+        far.read(1, 0)
+        assert (far.write(1, 1).extra_latency
+                > near.write(1, 1).extra_latency)
+
+
+class TestEviction:
+    def test_evict_last_sharer_invalidates_line(self):
+        d = Directory()
+        d.read(1, 0)
+        d.evict(1, 0)
+        assert d.state_of(1) is CoherenceState.INVALID
+        assert d.num_tracked_lines() == 0
+
+    def test_evict_owner_downgrades(self):
+        d = Directory()
+        d.write(1, 0)
+        d.evict(1, 0)
+        assert d.state_of(1) is CoherenceState.INVALID
+
+    def test_evict_one_of_many_keeps_shared(self):
+        d = Directory()
+        d.read(1, 0)
+        d.read(1, 1)
+        d.evict(1, 0)
+        assert d.state_of(1) is CoherenceState.SHARED
+        assert d.sharers_of(1) == {1}
+
+    def test_evict_untracked_line_is_noop(self):
+        d = Directory()
+        d.evict(99, 0)
+        assert d.num_tracked_lines() == 0

@@ -1,0 +1,65 @@
+"""Tests for hypervisor defragmentation (paper Section 3's claim)."""
+
+import pytest
+
+from repro.cloud.fabric import Fabric
+from repro.cloud.hypervisor import Hypervisor
+from repro.cloud.vm import VMSpec
+
+
+def _fragmented_hypervisor():
+    """Interleave placements and teardowns so free Slices are scattered."""
+    hv = Hypervisor(Fabric(width=16, height=2))
+    keep, drop = [], []
+    for i in range(6):
+        vm = hv.place(VMSpec.uniform(1, 2, 64))
+        assert vm is not None
+        (keep if i % 2 == 0 else drop).append(vm.vm_id)
+    for vm_id in drop:
+        hv.teardown(vm_id)
+    return hv
+
+
+class TestDefragmentation:
+    def test_repack_enables_blocked_placement(self):
+        """The paper's claim, end to end: a large VCore that cannot be
+        placed on the fragmented fabric fits after rescheduling."""
+        hv = _fragmented_hypervisor()
+        big = VMSpec.uniform(1, 6, 0)
+        if hv.place(big) is not None:
+            pytest.skip("fabric was not fragmented enough to block")
+        report = hv.defragment()
+        assert report["moved"] >= 1
+        assert hv.place(big) is not None
+
+    def test_costs_charged_per_moved_vcore(self):
+        hv = _fragmented_hypervisor()
+        before = hv.stats.reconfiguration_cycles
+        report = hv.defragment()
+        assert hv.stats.reconfiguration_cycles == before + report["cycles"]
+        # A moved VCore pays at least the register flush.
+        if report["moved"]:
+            assert report["cycles"] >= 500 * report["moved"]
+
+    def test_noop_when_already_compact(self):
+        hv = Hypervisor(Fabric(width=16, height=2))
+        hv.place(VMSpec.uniform(1, 2, 64))
+        report = hv.defragment()
+        assert report["moved"] == 0
+        assert report["cycles"] == 0
+
+    def test_all_vms_survive_defragmentation(self):
+        hv = _fragmented_hypervisor()
+        vms_before = set(hv.active_vms())
+        hv.defragment()
+        assert set(hv.active_vms()) == vms_before
+        for vm_id in vms_before:
+            instance = hv.instance(vm_id)
+            for idx, vcore in enumerate(instance.spec.vcores):
+                slices, banks = instance.placements[idx]
+                assert len(slices) == vcore.num_slices
+                assert len(banks) == vcore.num_banks
+                # Ownership is consistent on the fabric.
+                tag = instance.vcore_owner_tag(idx)
+                for node in slices + banks:
+                    assert hv.fabric.owner_of(node) == tag

@@ -1,0 +1,132 @@
+"""Tests for the scheduler, meta-program, and auto-tuner."""
+
+import pytest
+
+from repro.cloud.autotuner import AutoTuner
+from repro.cloud.fabric import Fabric
+from repro.cloud.hypervisor import Hypervisor
+from repro.cloud.metaprogram import MetaProgram, PriceQuote
+from repro.cloud.scheduler import CloudScheduler, CustomerRequest
+from repro.economics.utility import UTILITY1, UTILITY2, UTILITY3
+from repro.perfmodel.model import AnalyticModel
+
+
+class TestMetaProgram:
+    def test_decision_matches_optimizer(self):
+        meta = MetaProgram("gcc", UTILITY2, budget=24.0)
+        decision = meta.decide(PriceQuote(slice_price=2, bank_price=1))
+        assert decision.slices >= 1
+        assert decision.expected_utility > 0
+
+    def test_reacts_to_price_changes(self):
+        """Expensive Slices push the customer toward cache (Section 4)."""
+        meta = MetaProgram("gcc", UTILITY3, budget=24.0)
+        cheap = meta.decide(PriceQuote(slice_price=2, bank_price=1))
+        dear = meta.decide(PriceQuote(slice_price=16, bank_price=1))
+        assert dear.slices <= cheap.slices
+
+    def test_hysteresis_prevents_thrash(self):
+        meta = MetaProgram("gcc", UTILITY2, budget=24.0)
+        quote = PriceQuote(slice_price=2, bank_price=1)
+        best = meta.decide(quote)
+        assert not meta.would_reconfigure(
+            (best.cache_kb, best.slices), quote
+        )
+
+    def test_bad_config_triggers_reconfigure(self):
+        meta = MetaProgram("omnetpp", UTILITY3, budget=24.0)
+        quote = PriceQuote(slice_price=2, bank_price=1)
+        assert meta.would_reconfigure((0.0, 1), quote)
+
+    def test_budget_validated(self):
+        with pytest.raises(ValueError):
+            MetaProgram("gcc", UTILITY1, budget=0)
+
+
+class TestAutoTuner:
+    def test_finds_model_optimum_region(self):
+        model = AnalyticModel()
+        measure = lambda c, s: model.performance("omnetpp", c, s)
+        tuner = AutoTuner(measure, max_evaluations=72)
+        result = tuner.tune(start_cache_kb=128, start_slices=2)
+        # Hill climbing reaches a configuration close to the global best.
+        best = max(
+            model.performance("omnetpp", c, s)
+            for c in tuner.cache_grid for s in tuner.slice_grid
+        )
+        assert result.best_score >= 0.8 * best
+
+    def test_trajectory_is_monotone(self):
+        model = AnalyticModel()
+        tuner = AutoTuner(lambda c, s: model.performance("gcc", c, s))
+        result = tuner.tune()
+        scores = [score for _, _, score in result.trajectory]
+        assert scores == sorted(scores)
+
+    def test_respects_budget(self):
+        calls = []
+        tuner = AutoTuner(lambda c, s: calls.append(1) or 1.0,
+                          max_evaluations=5)
+        tuner.tune()
+        assert len(calls) <= 5
+
+    def test_off_grid_start_rejected(self):
+        tuner = AutoTuner(lambda c, s: 1.0)
+        with pytest.raises(ValueError):
+            tuner.tune(start_cache_kb=100, start_slices=1)
+
+
+class TestCloudScheduler:
+    def _scheduler(self):
+        return CloudScheduler(
+            hypervisor=Hypervisor(Fabric(width=16, height=8))
+        )
+
+    def test_submit_places_vm(self):
+        sched = self._scheduler()
+        placement = sched.submit(
+            CustomerRequest("gcc", UTILITY2, budget=24.0)
+        )
+        assert placement is not None
+        assert placement.vm_id in sched.hypervisor.active_vms()
+        assert placement.revenue > 0
+
+    def test_many_customers_fill_the_fabric(self):
+        sched = self._scheduler()
+        requests = [
+            CustomerRequest(bench, utility, budget=24.0)
+            for bench in ("gcc", "bzip", "omnetpp", "hmmer")
+            for utility in (UTILITY1, UTILITY2, UTILITY3)
+        ]
+        placements = sched.submit_all(requests)
+        assert placements
+        assert sched.utilization() > 0
+        assert sched.total_revenue() > 0
+        assert sched.total_utility() > 0
+
+    def test_prices_rise_with_demand(self):
+        sched = self._scheduler()
+        initial = sched.slice_price
+        for _ in range(6):
+            sched.submit(CustomerRequest("gcc", UTILITY3, budget=48.0))
+        # Loaded fabric -> tatonnement raises at least one price.
+        assert sched.slice_price != initial or sched.bank_price != 1.0
+
+    def test_oversized_request_degrades_gracefully(self):
+        sched = CloudScheduler(
+            hypervisor=Hypervisor(Fabric(width=6, height=2))
+        )
+        placement = sched.submit(
+            CustomerRequest("gcc", UTILITY1, budget=500.0)
+        )
+        # Either a shrunken placement or a clean rejection.
+        if placement is None:
+            assert sched.rejected
+        else:
+            assert placement.vcores >= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CustomerRequest("gcc", UTILITY1, budget=0)
+        with pytest.raises(ValueError):
+            CloudScheduler(slice_price=0)

@@ -1,0 +1,88 @@
+"""Tests for multi-VCore (PARSEC-style) simulation with coherence."""
+
+import pytest
+
+from repro.core.multivcore import (
+    MultiVCoreSimulator,
+    generate_thread_traces,
+)
+
+
+class TestThreadTraces:
+    def test_per_thread_traces_differ(self):
+        traces = generate_thread_traces("dedup", 400, num_threads=4, seed=1)
+        assert len(traces) == 4
+        pcs = [tuple(i.pc for i in t) for t in traces]
+        assert len(set(pcs)) == 4  # distinct control flow per thread
+
+    def test_threads_share_a_region(self):
+        traces = generate_thread_traces("dedup", 2000, num_threads=2,
+                                        seed=1, shared_fraction=0.5)
+        shared = [
+            {i.mem.address for i in t if i.mem is not None
+             and i.mem.address >= 0x7000_0000}
+            for t in traces
+        ]
+        assert shared[0] and shared[1]
+        assert shared[0] & shared[1]  # actual overlap -> coherence traffic
+
+    def test_zero_sharing_possible(self):
+        traces = generate_thread_traces("dedup", 500, num_threads=2,
+                                        seed=1, shared_fraction=0.0)
+        for t in traces:
+            assert all(
+                i.mem.address < 0x7000_0000
+                for i in t if i.mem is not None
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_thread_traces("dedup", 100, num_threads=0)
+        with pytest.raises(ValueError):
+            generate_thread_traces("dedup", 100, num_threads=2,
+                                   shared_fraction=1.5)
+
+
+class TestMultiVCoreSimulation:
+    def test_four_threads_run_and_commit(self):
+        """The paper's PARSEC setup: 4 threads on 4 equal VCores."""
+        sim = MultiVCoreSimulator("dedup", num_vcores=4,
+                                  slices_per_vcore=2, l2_cache_kb=512,
+                                  trace_length=600, seed=2)
+        result = sim.run()
+        assert len(result.threads) == 4
+        assert result.total_committed == 4 * 600
+        assert result.vm_cycles > 0
+        assert result.aggregate_ipc > 0
+
+    def test_sharing_generates_coherence_traffic(self):
+        shared = MultiVCoreSimulator("ferret", num_vcores=2,
+                                     slices_per_vcore=1, l2_cache_kb=256,
+                                     trace_length=800, seed=3,
+                                     shared_fraction=0.6).run()
+        private = MultiVCoreSimulator("ferret", num_vcores=2,
+                                      slices_per_vcore=1, l2_cache_kb=256,
+                                      trace_length=800, seed=3,
+                                      shared_fraction=0.0).run()
+        assert (shared.directory_invalidations
+                + shared.directory_downgrades) > 0
+        assert private.directory_invalidations == 0
+        shared_stalls = sum(t.coherence_stall_cycles for t in shared.threads)
+        private_stalls = sum(t.coherence_stall_cycles
+                             for t in private.threads)
+        assert shared_stalls > private_stalls == 0
+
+    def test_vm_finishes_with_slowest_thread(self):
+        sim = MultiVCoreSimulator("swaptions", num_vcores=2,
+                                  slices_per_vcore=1, l2_cache_kb=128,
+                                  trace_length=400, seed=4)
+        result = sim.run()
+        slowest = max(
+            t.result.cycles + t.coherence_stall_cycles
+            for t in result.threads
+        )
+        assert result.vm_cycles == slowest
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiVCoreSimulator("dedup", num_vcores=0)

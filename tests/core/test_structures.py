@@ -1,0 +1,48 @@
+"""Tests for Table 1's replicated/partitioned structure policies."""
+
+import pytest
+
+from repro.core.structures import (
+    STRUCTURE_POLICIES,
+    StructurePolicy,
+    effective_capacity,
+    partitioned_structures,
+    replicated_structures,
+)
+
+
+class TestTable1:
+    def test_paper_replicated_set(self):
+        """Table 1: predictor, BTB, scoreboard, global RAT replicate."""
+        assert set(replicated_structures()) == {
+            "branch_predictor", "btb", "scoreboard", "global_rat"
+        }
+
+    def test_paper_partitioned_set(self):
+        assert set(partitioned_structures()) == {
+            "issue_window", "load_queue", "store_queue", "rob",
+            "local_rat", "physical_rf",
+        }
+
+    def test_every_structure_classified(self):
+        assert len(STRUCTURE_POLICIES) == 10
+        for policy in STRUCTURE_POLICIES.values():
+            assert isinstance(policy, StructurePolicy)
+
+
+class TestEffectiveCapacity:
+    def test_partitioned_capacity_scales(self):
+        assert effective_capacity("rob", 64, 1) == 64
+        assert effective_capacity("rob", 64, 8) == 512
+
+    def test_replicated_capacity_does_not_scale(self):
+        assert effective_capacity("btb", 512, 1) == 512
+        assert effective_capacity("btb", 512, 8) == 512
+
+    def test_unknown_structure(self):
+        with pytest.raises(KeyError):
+            effective_capacity("flux_capacitor", 1, 1)
+
+    def test_invalid_slice_count(self):
+        with pytest.raises(ValueError):
+            effective_capacity("rob", 64, 0)

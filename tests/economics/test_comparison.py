@@ -1,0 +1,77 @@
+"""Tests for the market-efficiency comparisons (Figures 15-16)."""
+
+import pytest
+
+from repro.economics.comparison import MarketEfficiencyComparison
+from repro.trace import all_benchmarks
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return MarketEfficiencyComparison(all_benchmarks())
+
+
+class TestPairEnumeration:
+    def test_paper_pair_count(self, comparison):
+        """15 benchmarks x 3 utilities -> C(45, 2) = 990 pairs (the
+        paper's ~1000 permutations)."""
+        gains = comparison.gains_vs_static()
+        assert len(gains) == 990
+
+    def test_customers_enumerated(self, comparison):
+        assert len(comparison.customers) == 45
+
+
+class TestStaticComparison:
+    def test_sharing_never_loses(self, comparison):
+        """The Sharing Architecture can always mimic the static config,
+        so every pairwise gain is >= 1."""
+        for gain in comparison.gains_vs_static():
+            assert gain.gain >= 1.0 - 1e-9
+
+    def test_headline_gain_band(self, comparison):
+        """Paper: 'up to 5x' market-efficiency gain vs static fixed."""
+        summary = comparison.summarize(comparison.gains_vs_static())
+        assert 2.0 <= summary["max"] <= 8.0
+        assert summary["mean"] > 1.1
+
+    def test_static_config_is_reasonable(self, comparison):
+        cache_kb, slices = comparison.best_static_config()
+        assert cache_kb in comparison.optimizer.cache_grid
+        assert slices in comparison.optimizer.slice_grid
+
+
+class TestHeterogeneousComparison:
+    def test_sharing_never_loses(self, comparison):
+        for gain in comparison.gains_vs_heterogeneous():
+            assert gain.gain >= 1.0 - 1e-9
+
+    def test_hetero_beats_static_baseline(self, comparison):
+        """Per-utility tuned cores serve customers better than one fixed
+        config, so gains over heterogeneous are smaller."""
+        static = comparison.summarize(comparison.gains_vs_static())
+        hetero = comparison.summarize(comparison.gains_vs_heterogeneous())
+        assert hetero["mean"] <= static["mean"]
+
+    def test_still_substantial_gains(self, comparison):
+        """Paper: 'Over 3x market efficiency gains can be achieved.'"""
+        summary = comparison.summarize(comparison.gains_vs_heterogeneous())
+        assert summary["max"] >= 1.5
+
+    def test_per_utility_configs_differ(self, comparison):
+        configs = {
+            comparison.best_config_for_utility(u)
+            for u in comparison.utilities
+        }
+        assert len(configs) >= 2
+
+
+class TestValidation:
+    def test_empty_benchmarks_rejected(self):
+        with pytest.raises(ValueError):
+            MarketEfficiencyComparison([])
+
+    def test_summary_fields(self, comparison):
+        summary = comparison.summarize(comparison.gains_vs_static())
+        assert {"pairs", "min", "median", "mean", "max"} <= set(summary)
+        assert summary["min"] <= summary["median"] <= summary["max"]

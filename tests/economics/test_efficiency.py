@@ -1,0 +1,79 @@
+"""Tests for efficiency metrics and optimal-configuration search."""
+
+import pytest
+
+from repro.economics.efficiency import (
+    PERF2_PER_AREA,
+    PERF3_PER_AREA,
+    PERF_PER_AREA,
+    STANDARD_METRICS,
+    EfficiencyMetric,
+    efficiency_table,
+    optimal_configuration,
+)
+
+
+class TestMetrics:
+    def test_three_standard_metrics(self):
+        assert len(STANDARD_METRICS) == 3
+        assert PERF_PER_AREA.perf_exponent == 1
+        assert PERF3_PER_AREA.perf_exponent == 3
+
+    def test_metric_value(self):
+        assert PERF2_PER_AREA.value(2.0, 4.0) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EfficiencyMetric("bad", 0)
+        with pytest.raises(ValueError):
+            PERF_PER_AREA.value(1.0, 0.0)
+
+
+class TestOptimalConfiguration:
+    def test_is_grid_maximum(self):
+        best = optimal_configuration("gcc", PERF2_PER_AREA)
+        assert best.score > 0
+        assert best.performance > 0
+        assert best.area > 0
+
+    def test_higher_exponent_buys_bigger_cores(self):
+        """Table 4: perf^3/area optima are larger than perf/area optima."""
+        for bench in ("gcc", "gobmk", "omnetpp"):
+            lo = optimal_configuration(bench, PERF_PER_AREA)
+            hi = optimal_configuration(bench, PERF3_PER_AREA)
+            assert (hi.slices, hi.cache_kb) >= (lo.slices, lo.cache_kb)
+            assert hi.area >= lo.area
+
+    def test_paper_gobmk_perf2_favors_big_core(self):
+        """Table 4: gobmk's perf^2/area optimum is a multi-Slice core
+        with substantial cache (paper: 5 Slices, 1 MB)."""
+        best = optimal_configuration("gobmk", PERF2_PER_AREA)
+        assert best.slices >= 3
+        assert best.cache_kb >= 256
+
+    def test_paper_hmmer_prefers_small(self):
+        """Table 4: hmmer prefers minimal configurations."""
+        hmmer = optimal_configuration("hmmer", PERF2_PER_AREA)
+        gobmk = optimal_configuration("gobmk", PERF2_PER_AREA)
+        assert hmmer.slices < gobmk.slices
+        assert hmmer.cache_kb <= 256
+
+
+class TestEfficiencyTable:
+    def test_table_shape(self):
+        table = efficiency_table(["gcc", "bzip"])
+        assert set(table) == {m.name for m in STANDARD_METRICS}
+        assert set(table["performance/area"]) == {"gcc", "bzip"}
+
+    def test_optima_vary_across_benchmarks(self):
+        """Section 5.5: 'The non-uniformity of optimal configurations
+        ... shows that benefits can be achieved.'"""
+        table = efficiency_table(
+            ["gcc", "hmmer", "omnetpp", "libquantum", "gobmk"]
+        )
+        for metric_name in ("performance^2/area", "performance^3/area"):
+            configs = {
+                (sc.cache_kb, sc.slices)
+                for sc in table[metric_name].values()
+            }
+            assert len(configs) >= 3

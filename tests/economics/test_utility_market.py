@@ -1,0 +1,91 @@
+"""Tests for utility functions and markets."""
+
+import pytest
+
+from repro.economics.market import (
+    MARKET1,
+    MARKET2,
+    MARKET3,
+    STANDARD_MARKETS,
+    Market,
+)
+from repro.economics.utility import (
+    STANDARD_UTILITIES,
+    UTILITY1,
+    UTILITY2,
+    UTILITY3,
+    UtilityFunction,
+)
+
+
+class TestUtilityFunctions:
+    def test_three_standard_utilities(self):
+        """Table 5: three example customers."""
+        assert len(STANDARD_UTILITIES) == 3
+
+    def test_sorted_by_performance_preference(self):
+        """Sorted from throughput-favouring to latency-favouring."""
+        exps = [u.perf_exponent for u in STANDARD_UTILITIES]
+        assert exps == sorted(exps)
+        assert UTILITY1.favors_throughput()
+        assert not UTILITY3.favors_throughput()
+
+    def test_utility1_is_linear(self):
+        """Equation 4: U_LT = v * P."""
+        assert UTILITY1.value(2.0, 3.0) == pytest.approx(6.0)
+
+    def test_utility3_is_oldi(self):
+        """Equation 1: U_OLDI = cbrt(v) * P^3."""
+        assert UTILITY3.value(2.0, 8.0) == pytest.approx(2.0 * 8.0)
+
+    def test_all_agree_at_single_vcore(self):
+        for u in STANDARD_UTILITIES:
+            assert u.value(1.0, 1.0) == pytest.approx(1.0)
+
+    def test_more_performance_more_utility(self):
+        for u in STANDARD_UTILITIES:
+            assert u.value(2.0, 1.0) > u.value(1.0, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UtilityFunction(name="bad", perf_exponent=0)
+        with pytest.raises(ValueError):
+            UTILITY1.value(-1.0, 1.0)
+
+
+class TestMarkets:
+    def test_market2_prices_track_area(self):
+        """Section 5.7: 1 Slice costs the same as 128 KB (two banks)."""
+        assert MARKET2.relative_slice_premium() == pytest.approx(1.0)
+
+    def test_market1_slice_premium(self):
+        assert MARKET1.relative_slice_premium() == pytest.approx(4.0)
+
+    def test_market3_cache_premium(self):
+        assert MARKET3.relative_slice_premium() == pytest.approx(0.25)
+
+    def test_cost_composition(self):
+        market = Market(name="m", slice_price=2, bank_price=1, fixed_cost=0)
+        # 256 KB = 4 banks.
+        assert market.cost(256, 3) == pytest.approx(4 * 1 + 3 * 2)
+
+    def test_fixed_cost_included(self):
+        market = Market(name="m", slice_price=2, bank_price=1, fixed_cost=5)
+        assert market.cost(0, 1) == pytest.approx(7)
+
+    def test_equation2_budget_constraint(self):
+        market = Market(name="m", slice_price=2, bank_price=1, fixed_cost=0)
+        assert market.vcores_affordable(24, 256, 3) == pytest.approx(2.4)
+
+    def test_bigger_configs_fewer_vcores(self):
+        for market in STANDARD_MARKETS:
+            assert (market.vcores_affordable(24, 0, 1)
+                    > market.vcores_affordable(24, 1024, 8))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Market(name="bad", slice_price=0, bank_price=1)
+        with pytest.raises(ValueError):
+            MARKET2.cost(-1, 1)
+        with pytest.raises(ValueError):
+            MARKET2.vcores_affordable(-1, 0, 1)

@@ -1,0 +1,36 @@
+"""Smoke tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "gcc" in out and "Utility2" in out and "Market2" in out
+
+    def test_optimize(self, capsys):
+        assert main(["optimize", "--benchmark", "gcc",
+                     "--utility", "Utility3", "--market", "Market1"]) == 0
+        out = capsys.readouterr().out
+        assert "VCores" in out and "utility" in out
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "--benchmark", "astar", "--slices", "2",
+                     "--cache-kb", "128", "--length", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "ipc" in out
+
+    def test_single_experiment(self, capsys):
+        assert main(["experiment", "tab8"]) == 0
+        out = capsys.readouterr().out
+        assert "taxonomy" in out.lower()
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiment", "fig99"]) == 2
+
+    def test_parser_rejects_bad_benchmark(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--benchmark", "doom"])

@@ -1,0 +1,100 @@
+"""End-to-end flows across the whole stack."""
+
+import pytest
+
+from repro import (
+    MARKET2,
+    UTILITY1,
+    UTILITY2,
+    UTILITY3,
+    AnalyticModel,
+    UtilityOptimizer,
+    all_benchmarks,
+    simulate,
+)
+from repro.cloud import (
+    CloudScheduler,
+    CustomerRequest,
+    Fabric,
+    Hypervisor,
+    MetaProgram,
+    PriceQuote,
+)
+from repro.trace.generator import make_workload
+
+
+class TestCustomerJourney:
+    """A customer profiles, decides via meta-program, and is placed."""
+
+    def test_full_flow(self):
+        # 1. The customer's meta-program decides at quoted prices.
+        meta = MetaProgram("gcc", UTILITY2, budget=24.0)
+        decision = meta.decide(PriceQuote(slice_price=2.0, bank_price=1.0))
+
+        # 2. The provider's scheduler places the VM on the fabric.
+        scheduler = CloudScheduler(
+            hypervisor=Hypervisor(Fabric(width=16, height=8))
+        )
+        placement = scheduler.submit(
+            CustomerRequest("gcc", UTILITY2, budget=24.0)
+        )
+        assert placement is not None
+        assert placement.slices == decision.slices
+        assert placement.cache_kb == decision.cache_kb
+
+        # 3. The placed configuration actually runs on the simulator.
+        warmup, trace = make_workload("gcc", 1200, seed=9)
+        result = simulate(trace, num_slices=placement.slices,
+                          l2_cache_kb=placement.cache_kb,
+                          warmup_addresses=warmup)
+        assert result.stats.committed == 1200
+
+    def test_reconfiguration_journey(self):
+        """Prices move; the meta-program reconfigures through the
+        hypervisor at the paper's costs."""
+        hv = Hypervisor(Fabric(width=16, height=8))
+        scheduler = CloudScheduler(hypervisor=hv)
+        placement = scheduler.submit(
+            CustomerRequest("gcc", UTILITY3, budget=24.0)
+        )
+        assert placement is not None
+        meta = MetaProgram("gcc", UTILITY3, budget=24.0)
+        spike = PriceQuote(slice_price=16.0, bank_price=1.0)
+        if meta.would_reconfigure(
+            (placement.cache_kb, placement.slices), spike
+        ):
+            new = meta.decide(spike)
+            from repro.cloud.vm import VCoreSpec
+            cost = hv.resize_vcore(
+                placement.vm_id, 0,
+                VCoreSpec(num_slices=new.slices,
+                          l2_cache_kb=new.cache_kb),
+            )
+            assert cost.cycles in (0, 500, 10_000)
+
+
+class TestProviderEconomics:
+    def test_sharing_revenue_with_mixed_customers(self):
+        scheduler = CloudScheduler(
+            hypervisor=Hypervisor(Fabric(width=24, height=8))
+        )
+        requests = [
+            CustomerRequest(bench, utility, budget=24.0)
+            for bench in all_benchmarks()[:6]
+            for utility in (UTILITY1, UTILITY3)
+        ]
+        placements = scheduler.submit_all(requests)
+        assert len(placements) >= 6
+        # Different customers received different shapes.
+        shapes = {(p.cache_kb, p.slices) for p in placements}
+        assert len(shapes) >= 2
+
+
+class TestModelConsistency:
+    def test_optimizer_uses_model_performance(self):
+        model = AnalyticModel()
+        optimizer = UtilityOptimizer(model=model)
+        choice = optimizer.best("omnetpp", UTILITY3, MARKET2)
+        assert choice.performance == pytest.approx(
+            model.performance("omnetpp", choice.cache_kb, choice.slices)
+        )

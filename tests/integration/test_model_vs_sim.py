@@ -1,0 +1,76 @@
+"""Cross-validation: analytic model vs cycle-level simulator.
+
+The analytic model drives the evaluation sweeps, so its *shapes* must
+agree with SSim on anchor configurations: which benchmark scales better
+with Slices, which is more cache-sensitive, and the direction of each
+trend.  Absolute IPC is not expected to match (the analytic model is
+first-order), only orderings.
+"""
+
+import pytest
+
+from repro.core.simulator import simulate
+from repro.perfmodel.model import AnalyticModel
+from repro.trace.generator import make_workload
+
+TRACE_LEN = 3000
+
+
+@pytest.fixture(scope="module")
+def model():
+    return AnalyticModel()
+
+
+def _sim_cycles(bench, slices, cache_kb, seed=1):
+    warmup, trace = make_workload(bench, TRACE_LEN, seed=seed)
+    return simulate(trace, num_slices=slices, l2_cache_kb=cache_kb,
+                    warmup_addresses=warmup).cycles
+
+
+class TestSliceScalingAgreement:
+    def test_strong_scaler_gains_in_both(self, model):
+        """libquantum speeds up 1 -> 4 Slices in model and simulator."""
+        sim_speedup = (_sim_cycles("libquantum", 1, 256)
+                       / _sim_cycles("libquantum", 4, 256))
+        model_speedup = model.speedup("libquantum", 256, 4,
+                                      baseline_cache_kb=256)
+        assert sim_speedup > 1.15
+        assert model_speedup > 1.15
+
+    def test_weak_scaler_ordering(self, model):
+        """hmmer scales worse than libquantum in both."""
+        sim_lib = (_sim_cycles("libquantum", 1, 256)
+                   / _sim_cycles("libquantum", 4, 256))
+        sim_hmm = (_sim_cycles("hmmer", 1, 256)
+                   / _sim_cycles("hmmer", 4, 256))
+        model_lib = model.speedup("libquantum", 256, 4,
+                                  baseline_cache_kb=256)
+        model_hmm = model.speedup("hmmer", 256, 4, baseline_cache_kb=256)
+        assert sim_lib > sim_hmm
+        assert model_lib > model_hmm
+
+
+class TestCacheSensitivityAgreement:
+    def test_omnetpp_gains_from_cache_in_both(self, model):
+        sim_gain = (_sim_cycles("omnetpp", 2, 0)
+                    / _sim_cycles("omnetpp", 2, 1024))
+        model_gain = (model.performance("omnetpp", 1024, 2)
+                      / model.performance("omnetpp", 0, 2))
+        assert sim_gain > 1.2
+        assert model_gain > 1.2
+
+    def test_insensitive_benchmark_in_both(self, model):
+        """astar barely responds to L2 capacity in either view."""
+        sim_gain = (_sim_cycles("astar", 2, 0)
+                    / _sim_cycles("astar", 2, 1024))
+        model_gain = (model.performance("astar", 1024, 2)
+                      / model.performance("astar", 0, 2))
+        assert sim_gain < 1.4
+        assert model_gain < 1.4
+
+    def test_sensitivity_ordering_matches(self, model):
+        sim_omnetpp = (_sim_cycles("omnetpp", 2, 0)
+                       / _sim_cycles("omnetpp", 2, 1024))
+        sim_astar = (_sim_cycles("astar", 2, 0)
+                     / _sim_cycles("astar", 2, 1024))
+        assert sim_omnetpp > sim_astar

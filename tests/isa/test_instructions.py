@@ -1,0 +1,81 @@
+"""Tests for dynamic instruction records."""
+
+import pytest
+
+from repro.isa import Instruction, MemAccess, OpClass, Opcode, ZERO_REG, nop
+
+
+class TestMemAccess:
+    def test_cache_line(self):
+        assert MemAccess(address=0).cache_line() == 0
+        assert MemAccess(address=63).cache_line() == 0
+        assert MemAccess(address=64).cache_line() == 1
+        assert MemAccess(address=130).cache_line(line_size=128) == 1
+
+    def test_rejects_negative_address(self):
+        with pytest.raises(ValueError):
+            MemAccess(address=-1)
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            MemAccess(address=0, size=0)
+
+
+class TestInstruction:
+    def test_load_requires_memory(self):
+        with pytest.raises(ValueError):
+            Instruction(seq=0, pc=0, opcode=Opcode.LD, srcs=(1,), dst=2)
+
+    def test_alu_rejects_memory(self):
+        with pytest.raises(ValueError):
+            Instruction(
+                seq=0, pc=0, opcode=Opcode.ADD, srcs=(1,), dst=2,
+                mem=MemAccess(address=64),
+            )
+
+    def test_taken_branch_requires_target(self):
+        with pytest.raises(ValueError):
+            Instruction(seq=0, pc=0, opcode=Opcode.BEQ, srcs=(1,),
+                        taken=True)
+
+    def test_not_taken_branch_needs_no_target(self):
+        inst = Instruction(seq=0, pc=5, opcode=Opcode.BNE, srcs=(1,))
+        assert inst.next_pc() == 6
+
+    def test_taken_branch_next_pc(self):
+        inst = Instruction(seq=0, pc=5, opcode=Opcode.BNE, srcs=(1,),
+                           taken=True, target=42)
+        assert inst.next_pc() == 42
+
+    def test_live_srcs_drops_zero_register(self):
+        inst = Instruction(seq=0, pc=0, opcode=Opcode.ADD,
+                           srcs=(ZERO_REG, 3), dst=4)
+        assert inst.live_srcs() == (3,)
+
+    def test_writes_register(self):
+        writes = Instruction(seq=0, pc=0, opcode=Opcode.ADD, srcs=(1,), dst=2)
+        zero_dst = Instruction(seq=0, pc=0, opcode=Opcode.ADD, srcs=(1,),
+                               dst=ZERO_REG)
+        assert writes.writes_register
+        assert not zero_dst.writes_register
+
+    def test_classification_properties(self):
+        load = Instruction(seq=0, pc=0, opcode=Opcode.LD, srcs=(1,), dst=2,
+                           mem=MemAccess(address=64))
+        store = Instruction(seq=1, pc=1, opcode=Opcode.ST, srcs=(1, 2),
+                            mem=MemAccess(address=64))
+        assert load.is_load and load.is_mem and not load.is_store
+        assert store.is_store and store.is_mem and not store.is_load
+        assert load.op_class is OpClass.LOAD
+
+    def test_nop_helper(self):
+        filler = nop(seq=7, pc=9)
+        assert filler.seq == 7
+        assert filler.op_class is OpClass.NOP
+        assert not filler.writes_register
+
+    def test_rejects_negative_registers(self):
+        with pytest.raises(ValueError):
+            Instruction(seq=0, pc=0, opcode=Opcode.ADD, srcs=(-1,), dst=2)
+        with pytest.raises(ValueError):
+            Instruction(seq=0, pc=0, opcode=Opcode.ADD, srcs=(1,), dst=-2)

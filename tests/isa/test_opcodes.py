@@ -1,0 +1,51 @@
+"""Tests for opcode and operation-class definitions."""
+
+import pytest
+
+from repro.isa.opcodes import (
+    CLASS_OPCODES,
+    EXEC_LATENCY,
+    OPCODE_CLASS,
+    OpClass,
+    Opcode,
+)
+
+
+class TestOpClass:
+    def test_memory_classes(self):
+        assert OpClass.LOAD.is_memory
+        assert OpClass.STORE.is_memory
+
+    def test_non_memory_classes(self):
+        for cls in (OpClass.ALU, OpClass.MUL, OpClass.BRANCH, OpClass.NOP):
+            assert not cls.is_memory
+
+    def test_alu_port_users(self):
+        assert OpClass.ALU.uses_alu
+        assert OpClass.MUL.uses_alu
+        assert OpClass.BRANCH.uses_alu
+        assert not OpClass.LOAD.uses_alu
+        assert not OpClass.STORE.uses_alu
+
+
+class TestOpcodeTables:
+    def test_every_opcode_has_a_class(self):
+        for opcode in Opcode:
+            assert opcode in OPCODE_CLASS
+
+    def test_every_class_has_a_latency(self):
+        for cls in OpClass:
+            assert EXEC_LATENCY[cls] >= 1
+
+    def test_mul_is_multicycle(self):
+        assert EXEC_LATENCY[OpClass.MUL] > EXEC_LATENCY[OpClass.ALU]
+
+    def test_class_opcodes_cover_all_opcodes(self):
+        listed = {op for ops in CLASS_OPCODES.values() for op in ops}
+        # JMP is a branch but only conditional branches are generated.
+        assert listed | {Opcode.JMP} == set(Opcode)
+
+    def test_class_opcodes_consistent_with_opcode_class(self):
+        for cls, opcodes in CLASS_OPCODES.items():
+            for opcode in opcodes:
+                assert OPCODE_CLASS[opcode] is cls

@@ -1,0 +1,30 @@
+"""Tests for the register-file specification."""
+
+import pytest
+
+from repro.isa import RegisterFileSpec
+
+
+class TestRegisterFileSpec:
+    def test_defaults_match_table2(self):
+        spec = RegisterFileSpec()
+        assert spec.num_arch == 32
+        assert spec.num_global_logical == 128
+        assert spec.num_local_per_slice == 64
+
+    def test_local_capacity_scales_with_slices(self):
+        spec = RegisterFileSpec()
+        assert spec.total_local(1) == 64
+        assert spec.total_local(8) == 512
+
+    def test_rejects_global_smaller_than_arch(self):
+        with pytest.raises(ValueError):
+            RegisterFileSpec(num_arch=32, num_global_logical=16)
+
+    def test_rejects_zero_slices(self):
+        with pytest.raises(ValueError):
+            RegisterFileSpec().total_local(0)
+
+    def test_rejects_empty_arch_space(self):
+        with pytest.raises(ValueError):
+            RegisterFileSpec(num_arch=0)

@@ -1,0 +1,67 @@
+"""Tests for the 2-D mesh topology."""
+
+import pytest
+
+from repro.network.topology import Mesh2D
+
+
+class TestMesh2D:
+    def test_coords_roundtrip(self):
+        mesh = Mesh2D(width=4, height=3)
+        for node in range(mesh.num_nodes):
+            x, y = mesh.coords(node)
+            assert mesh.node_at(x, y) == node
+
+    def test_manhattan_distance(self):
+        mesh = Mesh2D(width=4, height=4)
+        assert mesh.distance(0, 0) == 0
+        assert mesh.distance(0, 3) == 3
+        assert mesh.distance(0, mesh.node_at(3, 3)) == 6
+
+    def test_distance_symmetry(self):
+        mesh = Mesh2D(width=5, height=3)
+        for a in range(mesh.num_nodes):
+            for b in range(mesh.num_nodes):
+                assert mesh.distance(a, b) == mesh.distance(b, a)
+
+    def test_route_length_equals_distance(self):
+        mesh = Mesh2D(width=4, height=4)
+        for a in (0, 5, 10):
+            for b in (3, 12, 15):
+                assert len(mesh.route(a, b)) == mesh.distance(a, b)
+
+    def test_route_is_x_then_y(self):
+        mesh = Mesh2D(width=4, height=4)
+        links = mesh.route(0, mesh.node_at(2, 2))
+        xs = [mesh.coords(dst)[0] for _, dst in links]
+        # X coordinate settles before Y movement begins.
+        assert xs == sorted(xs[:2]) + [xs[-1]] * (len(xs) - 2)
+
+    def test_neighbors_interior(self):
+        mesh = Mesh2D(width=3, height=3)
+        center = mesh.node_at(1, 1)
+        assert len(list(mesh.neighbors(center))) == 4
+
+    def test_neighbors_corner(self):
+        mesh = Mesh2D(width=3, height=3)
+        assert len(list(mesh.neighbors(0))) == 2
+
+    def test_row_run(self):
+        mesh = Mesh2D(width=4, height=2)
+        assert mesh.row(1, start_x=1, count=2) == [
+            mesh.node_at(1, 1), mesh.node_at(2, 1)
+        ]
+
+    def test_row_overflow_rejected(self):
+        mesh = Mesh2D(width=4, height=2)
+        with pytest.raises(ValueError):
+            mesh.row(0, start_x=3, count=2)
+
+    def test_out_of_range_node(self):
+        mesh = Mesh2D(width=2, height=2)
+        with pytest.raises(ValueError):
+            mesh.coords(4)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            Mesh2D(width=0, height=1)

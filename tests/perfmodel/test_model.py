@@ -1,0 +1,118 @@
+"""Tests for the analytic performance model."""
+
+import pytest
+
+from repro.perfmodel.model import (
+    AnalyticModel,
+    CACHE_GRID_KB,
+    SLICE_GRID,
+    l2_mean_latency,
+    performance,
+    performance_grid,
+)
+from repro.trace import all_benchmarks, get_profile
+
+
+@pytest.fixture(scope="module")
+def model():
+    return AnalyticModel()
+
+
+class TestL2LatencyModel:
+    def test_zero_cache_zero_latency(self):
+        assert l2_mean_latency(0) == 0.0
+
+    def test_latency_grows_with_capacity(self):
+        sizes = [64, 256, 1024, 4096, 8192]
+        latencies = [l2_mean_latency(c) for c in sizes]
+        assert latencies == sorted(latencies)
+
+    def test_first_ring_latency(self):
+        """4 banks at distance 1: Table 3 gives 1*2+4 = 6 cycles."""
+        assert l2_mean_latency(256) == 6.0
+
+
+class TestPerformanceShapes:
+    def test_positive_everywhere(self, model):
+        for bench in all_benchmarks():
+            for c in CACHE_GRID_KB:
+                for s in SLICE_GRID:
+                    assert model.performance(bench, c, s) > 0
+
+    def test_fig12_slice_scaling_monotone(self, model):
+        """Adding Slices never hurts at fixed cache (operand costs are
+        amortised by the issue window in the analytic model)."""
+        for bench in ("gcc", "libquantum", "h264ref"):
+            perfs = [model.performance(bench, 128, s) for s in SLICE_GRID]
+            assert all(b >= a * 0.98 for a, b in zip(perfs, perfs[1:]))
+
+    def test_fig12_scaling_order(self, model):
+        """Figure 12: libquantum scales best; hmmer/astar poorly."""
+        assert (model.speedup("libquantum", 128, 8)
+                > model.speedup("gcc", 128, 8)
+                > model.speedup("hmmer", 128, 8))
+
+    def test_parsec_speedup_bounded_by_two(self, model):
+        """Paper Section 5.3."""
+        for bench in ("dedup", "swaptions", "ferret"):
+            for s in SLICE_GRID:
+                assert model.speedup(bench, 128, s) <= 2.0 + 1e-9
+
+    def test_fig13_omnetpp_peaks_then_declines(self, model):
+        """Figure 13: large caches eventually lose to added latency."""
+        curve = [
+            model.performance("omnetpp", c, 2) for c in CACHE_GRID_KB
+        ]
+        peak_idx = curve.index(max(curve))
+        assert 0 < peak_idx < len(curve) - 1
+        assert curve[-1] < curve[peak_idx]
+
+    def test_fig13_libquantum_prefers_no_cache(self, model):
+        """Figure 13: streaming workloads lose from any added latency."""
+        assert (model.performance("libquantum", 0, 2)
+                >= model.performance("libquantum", 4096, 2))
+
+    def test_cache_sensitivity_order(self, model):
+        def sensitivity(bench):
+            return (max(model.performance(bench, c, 2)
+                        for c in CACHE_GRID_KB)
+                    / model.performance(bench, 0, 2))
+        assert sensitivity("omnetpp") > sensitivity("gcc") > sensitivity("astar")
+
+
+class TestBreakdown:
+    def test_components_positive(self, model):
+        b = model.breakdown("gcc", 256, 4)
+        assert b.core > 0 and b.branch > 0 and b.memory > 0
+        assert b.total == pytest.approx(b.core + b.branch + b.memory)
+        assert b.ipc == pytest.approx(1 / b.total)
+
+    def test_memory_component_shrinks_with_cache(self, model):
+        small = model.breakdown("omnetpp", 64, 2)
+        large = model.breakdown("omnetpp", 2048, 2)
+        assert large.memory < small.memory
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError):
+            model.breakdown("gcc", -1, 2)
+        with pytest.raises(ValueError):
+            model.breakdown("gcc", 128, 0)
+        with pytest.raises(ValueError):
+            AnalyticModel(comm_tolerance=0)
+
+
+class TestMemoisedHelpers:
+    def test_performance_function_matches_model(self, model):
+        assert performance("gcc", 256, 4) == pytest.approx(
+            model.performance("gcc", 256, 4)
+        )
+
+    def test_grid_covers_full_space(self):
+        grid = performance_grid("gcc")
+        assert len(grid) == len(CACHE_GRID_KB) * len(SLICE_GRID)
+
+    def test_profile_object_accepted(self, model):
+        profile = get_profile("gcc")
+        assert model.performance(profile, 128, 2) == pytest.approx(
+            model.performance("gcc", 128, 2)
+        )

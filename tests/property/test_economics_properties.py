@@ -1,0 +1,93 @@
+"""Property-based tests for the economic model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.economics.market import Market
+from repro.economics.utility import UTILITY1, UTILITY2, UTILITY3
+from repro.perfmodel.model import AnalyticModel
+from repro.trace import all_benchmarks
+
+cache_sizes = st.sampled_from([0.0, 64.0, 128.0, 256.0, 512.0, 1024.0,
+                               2048.0, 4096.0, 8192.0])
+slice_counts = st.integers(min_value=1, max_value=8)
+benchmarks = st.sampled_from(all_benchmarks())
+prices = st.floats(min_value=0.1, max_value=100.0, allow_nan=False)
+
+_MODEL = AnalyticModel()
+
+
+class TestUtilityProperties:
+    @given(perf=st.floats(min_value=0.01, max_value=100),
+           vcores=st.floats(min_value=0.01, max_value=100))
+    @settings(max_examples=100, deadline=None)
+    def test_utilities_positive(self, perf, vcores):
+        for u in (UTILITY1, UTILITY2, UTILITY3):
+            assert u.value(perf, vcores) > 0
+
+    @given(perf=st.floats(min_value=0.01, max_value=100),
+           vcores=st.floats(min_value=0.01, max_value=100),
+           factor=st.floats(min_value=1.01, max_value=10))
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_in_both_arguments(self, perf, vcores, factor):
+        for u in (UTILITY1, UTILITY2, UTILITY3):
+            assert u.value(perf * factor, vcores) > u.value(perf, vcores)
+            assert u.value(perf, vcores * factor) > u.value(perf, vcores)
+
+    @given(perf=st.floats(min_value=1.01, max_value=100))
+    @settings(max_examples=100, deadline=None)
+    def test_higher_exponent_rewards_performance_more(self, perf):
+        """For P > 1, Utility3 grows faster in P than Utility1."""
+        ratio1 = UTILITY1.value(perf, 1) / UTILITY1.value(1, 1)
+        ratio3 = UTILITY3.value(perf, 1) / UTILITY3.value(1, 1)
+        assert ratio3 >= ratio1
+
+
+class TestMarketProperties:
+    @given(slice_price=prices, bank_price=prices, cache=cache_sizes,
+           slices=slice_counts)
+    @settings(max_examples=100, deadline=None)
+    def test_cost_positive_and_monotone(self, slice_price, bank_price,
+                                        cache, slices):
+        market = Market(name="m", slice_price=slice_price,
+                        bank_price=bank_price)
+        cost = market.cost(cache, slices)
+        assert cost > 0
+        assert market.cost(cache + 64, slices) > cost
+        if slices < 8:
+            assert market.cost(cache, slices + 1) > cost
+
+    @given(budget=st.floats(min_value=1, max_value=1000),
+           cache=cache_sizes, slices=slice_counts)
+    @settings(max_examples=100, deadline=None)
+    def test_equation2_inverse_relationship(self, budget, cache, slices):
+        market = Market(name="m", slice_price=2, bank_price=1)
+        v = market.vcores_affordable(budget, cache, slices)
+        assert v * market.cost(cache, slices) == (
+            __import__("pytest").approx(budget)
+        )
+
+
+class TestModelProperties:
+    @given(bench=benchmarks, cache=cache_sizes, slices=slice_counts)
+    @settings(max_examples=100, deadline=None)
+    def test_performance_finite_positive(self, bench, cache, slices):
+        perf = _MODEL.performance(bench, cache, slices)
+        assert 0 < perf < 100
+
+    @given(bench=benchmarks, cache=cache_sizes)
+    @settings(max_examples=60, deadline=None)
+    def test_breakdown_sums(self, bench, cache):
+        b = _MODEL.breakdown(bench, cache, 4)
+        assert abs(b.total - (b.core + b.branch + b.memory)) < 1e-12
+
+    @given(bench=benchmarks, slices=slice_counts)
+    @settings(max_examples=60, deadline=None)
+    def test_memory_cpi_monotone_in_cache_hits(self, bench, slices):
+        """More cache never increases the *miss* component (latency can
+        offset it in total performance, but the breakdown's memory term
+        moves with the miss curve plus latency, so compare extremes)."""
+        none = _MODEL.breakdown(bench, 0, slices)
+        small = _MODEL.breakdown(bench, 64, slices)
+        # At 64 KB latency is minimal, so memory CPI must not rise much.
+        assert small.memory <= none.memory * 1.1

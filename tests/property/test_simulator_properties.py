@@ -1,0 +1,61 @@
+"""Property-based tests for trace generation and simulation invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.simulator import simulate
+from repro.trace import all_benchmarks
+from repro.trace.generator import generate_trace
+
+benchmarks = st.sampled_from(all_benchmarks())
+seeds = st.integers(min_value=0, max_value=1_000_000)
+
+
+class TestTraceInvariants:
+    @given(bench=benchmarks, seed=seeds,
+           length=st.integers(min_value=1, max_value=400))
+    @settings(max_examples=25, deadline=None)
+    def test_trace_well_formed(self, bench, seed, length):
+        trace = generate_trace(bench, length, seed=seed)
+        assert len(trace) == length
+        for idx, inst in enumerate(trace):
+            assert inst.seq == idx
+            if inst.is_mem:
+                assert inst.mem is not None
+            if inst.is_branch and inst.taken:
+                assert inst.target is not None
+
+    @given(bench=benchmarks, seed=seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_generation_is_deterministic(self, bench, seed):
+        a = generate_trace(bench, 200, seed=seed)
+        b = generate_trace(bench, 200, seed=seed)
+        assert [(i.pc, i.opcode, i.taken) for i in a] == [
+            (i.pc, i.opcode, i.taken) for i in b
+        ]
+
+
+class TestSimulationInvariants:
+    @given(
+        bench=st.sampled_from(["gcc", "astar", "swaptions"]),
+        slices=st.sampled_from([1, 2, 4]),
+        cache=st.sampled_from([0.0, 128.0, 512.0]),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_everything_commits_exactly_once(self, bench, slices, cache,
+                                             seed):
+        trace = generate_trace(bench, 300, seed=seed)
+        result = simulate(trace, num_slices=slices, l2_cache_kb=cache)
+        assert result.stats.committed == 300
+        # Fetch count covers commits plus any replayed instructions.
+        assert result.stats.fetched >= 300
+        assert result.stats.ipc <= 2.0 * slices  # fetch-width bound
+
+    @given(seed=st.integers(min_value=0, max_value=50))
+    @settings(max_examples=8, deadline=None)
+    def test_cycles_lower_bound(self, seed):
+        """A trace can never commit faster than commit bandwidth."""
+        trace = generate_trace("gcc", 240, seed=seed)
+        result = simulate(trace, num_slices=2, l2_cache_kb=128)
+        assert result.cycles >= 240 / (2 * 2)

@@ -1,0 +1,105 @@
+"""Tests for the synthetic trace generator."""
+
+import pytest
+
+from repro.isa import OpClass
+from repro.trace.generator import (
+    SyntheticTraceGenerator,
+    generate_trace,
+    make_workload,
+)
+from repro.trace.profiles import get_profile
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        a = generate_trace("gcc", 500, seed=7)
+        b = generate_trace("gcc", 500, seed=7)
+        assert [i.pc for i in a] == [i.pc for i in b]
+        assert [i.opcode for i in a] == [i.opcode for i in b]
+
+    def test_different_seed_different_trace(self):
+        a = generate_trace("gcc", 500, seed=1)
+        b = generate_trace("gcc", 500, seed=2)
+        assert [i.pc for i in a] != [i.pc for i in b]
+
+
+class TestStatisticalTargets:
+    def test_branch_fraction_near_profile(self):
+        profile = get_profile("gcc")
+        trace = generate_trace("gcc", 8000, seed=3)
+        assert abs(trace.branch_fraction() - profile.frac_branch) < 0.05
+
+    def test_mem_fraction_near_profile(self):
+        profile = get_profile("gcc")
+        trace = generate_trace("gcc", 8000, seed=3)
+        target = profile.frac_load + profile.frac_store
+        assert abs(trace.mem_fraction() - target) < 0.05
+
+    def test_memory_instructions_have_addresses(self):
+        trace = generate_trace("mcf", 2000, seed=1)
+        for inst in trace:
+            if inst.is_mem:
+                assert inst.mem is not None
+                assert inst.mem.address > 0
+
+    def test_taken_branches_have_targets(self):
+        trace = generate_trace("sjeng", 2000, seed=1)
+        for inst in trace:
+            if inst.is_branch and inst.taken:
+                assert inst.target is not None
+
+    def test_control_flow_follows_branches(self):
+        """The instruction after a taken branch starts its target block."""
+        trace = generate_trace("gcc", 2000, seed=5)
+        for prev, cur in zip(trace, list(trace)[1:]):
+            if prev.is_branch and prev.taken:
+                assert cur.pc == prev.target
+            elif not prev.is_branch:
+                assert cur.pc == prev.pc + 1 or cur.pc != prev.pc
+
+
+class TestColdReuseModel:
+    def test_warmup_addresses_are_line_aligned(self):
+        gen = SyntheticTraceGenerator(get_profile("gcc"), seed=1)
+        addrs = gen.warmup_addresses(0.5)
+        assert addrs
+        assert all(a % 64 == 0 for a in addrs)
+
+    def test_warmup_reuses_lines(self):
+        """The reuse model must actually revisit lines, not just stream."""
+        gen = SyntheticTraceGenerator(get_profile("gcc"), seed=1)
+        addrs = gen.warmup_addresses(4.0)
+        assert len(set(addrs)) < len(addrs)
+
+    def test_streaming_profile_reuses_little(self):
+        """libquantum (floor 0.92) is nearly all compulsory misses."""
+        gen = SyntheticTraceGenerator(get_profile("libquantum"), seed=1)
+        addrs = gen.warmup_addresses(0.01)
+        distinct_fraction = len(set(addrs)) / len(addrs)
+        assert distinct_fraction > 0.85
+
+    def test_make_workload_shares_history(self):
+        warmup, trace = make_workload("gcc", 1000, seed=2)
+        warm_lines = {a // 64 for a in warmup}
+        trace_cold_lines = {
+            i.mem.address // 64
+            for i in trace
+            if i.mem is not None and i.mem.address // 64 in warm_lines
+        }
+        # The timed region revisits lines the warmup touched.
+        assert trace_cold_lines
+
+    def test_rejects_tiny_cfg(self):
+        with pytest.raises(ValueError):
+            SyntheticTraceGenerator(get_profile("gcc"), num_blocks=1)
+
+    def test_rejects_empty_trace(self):
+        gen = SyntheticTraceGenerator(get_profile("gcc"))
+        with pytest.raises(ValueError):
+            gen.generate(0)
+
+    def test_rejects_negative_warmup(self):
+        gen = SyntheticTraceGenerator(get_profile("gcc"))
+        with pytest.raises(ValueError):
+            gen.warmup_addresses(-1.0)

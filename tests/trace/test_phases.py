@@ -1,0 +1,78 @@
+"""Tests for the program-phase model."""
+
+import pytest
+
+from repro.trace.phases import (
+    RECONFIG_CACHE_CYCLES,
+    RECONFIG_SLICE_CYCLES,
+    Phase,
+    PhasedProfile,
+    gcc_phases,
+)
+from repro.trace.profiles import get_profile
+
+
+class TestGccPhases:
+    def test_ten_phases(self):
+        """Paper Section 5.10: gcc divided into 10 segments."""
+        assert len(gcc_phases()) == 10
+
+    def test_phases_vary(self):
+        phases = gcc_phases()
+        ilps = {p.profile.ilp for p in phases}
+        working_sets = {p.profile.l2_ws_kb for p in phases}
+        assert len(ilps) > 3
+        assert len(working_sets) > 3
+
+    def test_phase_names_derived_from_gcc(self):
+        for phase in gcc_phases():
+            assert phase.profile.name.startswith("gcc.phase")
+
+    def test_total_instructions(self):
+        phased = gcc_phases(instructions_per_phase=1000)
+        assert phased.total_instructions == 10_000
+
+
+class TestReconfigurationCost:
+    def test_no_change_costs_nothing(self):
+        phased = gcc_phases()
+        configs = [(256.0, 2)] * 10
+        assert phased.reconfiguration_cost(configs) == 0
+
+    def test_cache_change_dominates(self):
+        phased = gcc_phases()
+        configs = [(256.0, 2)] * 9 + [(512.0, 2)]
+        assert phased.reconfiguration_cost(configs) == RECONFIG_CACHE_CYCLES
+
+    def test_slice_only_change_is_cheap(self):
+        phased = gcc_phases()
+        configs = [(256.0, 2)] * 9 + [(256.0, 4)]
+        assert phased.reconfiguration_cost(configs) == RECONFIG_SLICE_CYCLES
+
+    def test_paper_costs(self):
+        """Paper Section 5.10: 10 000 vs 500 cycles."""
+        assert RECONFIG_CACHE_CYCLES == 10_000
+        assert RECONFIG_SLICE_CYCLES == 500
+
+    def test_wrong_schedule_length_rejected(self):
+        with pytest.raises(ValueError):
+            gcc_phases().reconfiguration_cost([(256.0, 2)] * 3)
+
+
+class TestPhaseValidation:
+    def test_phase_indices_must_be_ordered(self):
+        profile = get_profile("gcc")
+        phases = [
+            Phase(index=1, profile=profile, instructions=10),
+            Phase(index=0, profile=profile, instructions=10),
+        ]
+        with pytest.raises(ValueError):
+            PhasedProfile("x", phases)
+
+    def test_empty_phases_rejected(self):
+        with pytest.raises(ValueError):
+            PhasedProfile("x", [])
+
+    def test_zero_instruction_phase_rejected(self):
+        with pytest.raises(ValueError):
+            Phase(index=0, profile=get_profile("gcc"), instructions=0)

@@ -1,0 +1,92 @@
+"""Tests for benchmark profiles."""
+
+import pytest
+
+from repro.trace.profiles import (
+    PROFILES,
+    BenchmarkProfile,
+    all_benchmarks,
+    get_profile,
+    parsec_benchmarks,
+    spec_benchmarks,
+)
+
+
+class TestProfileCatalog:
+    def test_fifteen_workloads(self):
+        """The paper's Figure 12 uses exactly 15 workloads."""
+        assert len(all_benchmarks()) == 15
+
+    def test_all_benchmarks_have_profiles(self):
+        for name in all_benchmarks():
+            assert get_profile(name).name == name
+
+    def test_suite_partitions(self):
+        spec = set(spec_benchmarks())
+        parsec = set(parsec_benchmarks())
+        assert spec & parsec == set()
+        assert "apache" not in spec | parsec
+        assert len(spec) == 11
+        assert parsec == {"dedup", "swaptions", "ferret"}
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            get_profile("doom")
+
+    def test_parsec_profiles_are_multithreaded_and_capped(self):
+        for name in parsec_benchmarks():
+            profile = get_profile(name)
+            assert profile.is_multithreaded
+            assert profile.thread_cap == 2.0  # paper Section 5.3
+
+    def test_spec_profiles_are_single_threaded(self):
+        for name in spec_benchmarks():
+            assert not get_profile(name).is_multithreaded
+
+
+class TestProfileBehaviour:
+    def test_instruction_mix_sums_below_one(self):
+        for profile in PROFILES.values():
+            assert 0 < profile.frac_alu < 1
+
+    def test_l2_miss_fraction_monotone_decreasing(self):
+        profile = get_profile("gcc")
+        sizes = [0, 64, 128, 256, 512, 1024, 4096, 8192]
+        misses = [profile.l2_miss_fraction(c) for c in sizes]
+        assert misses == sorted(misses, reverse=True)
+        assert misses[0] == 1.0
+
+    def test_l2_miss_fraction_floor(self):
+        profile = get_profile("libquantum")
+        # Streaming workload: even a huge cache misses at the floor.
+        assert profile.l2_miss_fraction(1 << 20) >= profile.l2_floor
+
+    def test_branch_predictability_in_range(self):
+        for profile in PROFILES.values():
+            assert 0.5 <= profile.branch_predictability() <= 1.0
+
+    def test_omnetpp_most_cache_sensitive(self):
+        """Paper Figure 13: omnetpp is extremely sensitive to cache."""
+        omnetpp = get_profile("omnetpp")
+        astar = get_profile("astar")
+        span = lambda p: p.l2_miss_fraction(0) - p.l2_miss_fraction(8192)
+        assert span(omnetpp) > span(astar)
+
+    def test_with_overrides(self):
+        base = get_profile("gcc")
+        variant = base.with_overrides(ilp=base.ilp * 2)
+        assert variant.ilp == base.ilp * 2
+        assert variant.l1_mpki == base.l1_mpki
+
+    def test_validation_rejects_bad_mix(self):
+        with pytest.raises(ValueError):
+            BenchmarkProfile(name="bad", suite="spec", frac_load=0.9,
+                             frac_store=0.2)
+
+    def test_validation_rejects_bad_ilp(self):
+        with pytest.raises(ValueError):
+            BenchmarkProfile(name="bad", suite="spec", ilp=0.5)
+
+    def test_validation_rejects_bad_floor(self):
+        with pytest.raises(ValueError):
+            BenchmarkProfile(name="bad", suite="spec", l2_floor=1.5)

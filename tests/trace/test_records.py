@@ -1,0 +1,52 @@
+"""Tests for trace containers."""
+
+import pytest
+
+from repro.isa import Instruction, Opcode
+from repro.trace.records import Trace, TraceMetadata
+
+
+def _make_trace(n=10):
+    insts = [
+        Instruction(seq=i, pc=i, opcode=Opcode.ADD, srcs=(1,), dst=2)
+        for i in range(n)
+    ]
+    return Trace(insts, TraceMetadata(benchmark="t", seed=0, length=n))
+
+
+class TestTrace:
+    def test_sequence_protocol(self):
+        trace = _make_trace(5)
+        assert len(trace) == 5
+        assert trace[2].seq == 2
+        assert [i.seq for i in trace] == [0, 1, 2, 3, 4]
+
+    def test_metadata_length_must_match(self):
+        insts = [Instruction(seq=0, pc=0, opcode=Opcode.ADD, srcs=(1,), dst=2)]
+        with pytest.raises(ValueError):
+            Trace(insts, TraceMetadata(benchmark="t", seed=0, length=5))
+
+    def test_sequence_numbers_must_be_dense(self):
+        insts = [
+            Instruction(seq=5, pc=0, opcode=Opcode.ADD, srcs=(1,), dst=2)
+        ]
+        with pytest.raises(ValueError):
+            Trace(insts, TraceMetadata(benchmark="t", seed=0, length=1))
+
+    def test_op_class_counts(self):
+        trace = _make_trace(4)
+        counts = trace.op_class_counts()
+        assert sum(counts.values()) == 4
+
+    def test_fractions_on_alu_only_trace(self):
+        trace = _make_trace(4)
+        assert trace.mem_fraction() == 0.0
+        assert trace.branch_fraction() == 0.0
+
+    def test_slice_of_rebases(self):
+        trace = _make_trace(10)
+        window = trace.slice_of(4, 8)
+        assert len(window) == 4
+        assert [i.seq for i in window] == [0, 1, 2, 3]
+        assert window[0].pc == 4  # original pc preserved
+        assert window.metadata.benchmark == "t"
