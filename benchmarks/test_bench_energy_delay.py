@@ -4,7 +4,7 @@ from repro.experiments import energy_delay
 
 
 def test_bench_energy_delay_optima(benchmark):
-    table = benchmark(energy_delay.run)
+    table = benchmark(energy_delay.run).table
 
     # Higher delay exponents buy bigger cores - the drift the paper's
     # perf^k/area metrics show in Table 4.

@@ -5,9 +5,9 @@ from repro.experiments import area_decomposition
 
 def test_bench_fig10_fig11_area(benchmark):
     result = benchmark(area_decomposition.run)
-    fig10 = result["fig10_without_l2"]
-    fig11 = result["fig11_with_l2"]
-    overhead = result["sharing_overhead_pct"]
+    fig10 = result.fig10_without_l2
+    fig11 = result.fig11_with_l2
+    overhead = result.sharing_overhead_pct
 
     # Paper Figure 10: the L1 caches are the largest components (24% each)
     assert fig10["l1_icache"] == max(fig10.values())

@@ -4,7 +4,7 @@ from repro.experiments import scalability
 
 
 def test_bench_fig12_scalability(benchmark):
-    series = benchmark(scalability.run)
+    series = benchmark(scalability.run).series
     assert len(series) == 15
 
     # Paper band: normalised performance spans roughly 1x-5x at 8 Slices.

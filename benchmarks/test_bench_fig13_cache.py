@@ -5,7 +5,7 @@ from repro.perfmodel.model import CACHE_GRID_KB
 
 
 def test_bench_fig13_cache_sensitivity(benchmark):
-    series = benchmark(cache_sensitivity.run)
+    series = benchmark(cache_sensitivity.run).series
 
     # Paper: omnetpp extremely sensitive; astar/libquantum/gobmk are not.
     assert max(series["omnetpp"]) >= 3.0

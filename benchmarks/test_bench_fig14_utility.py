@@ -5,8 +5,8 @@ from repro.experiments import utility_surfaces
 
 def test_bench_fig14_utility_surfaces(benchmark):
     result = benchmark(utility_surfaces.run)
-    peaks = result["peaks"]
-    surfaces = result["surfaces"]
+    peaks = result.peaks
+    surfaces = result.surfaces
 
     # Four panels, full grids.
     assert len(surfaces) == 4

@@ -5,7 +5,7 @@ from repro.experiments import static_comparison
 
 def test_bench_fig15_static_gain(benchmark):
     result = benchmark(static_comparison.run)
-    summary = result["summary"]
+    summary = result.summary
 
     # Paper: ~1000 pairwise permutations (C(45, 2) = 990).
     assert summary["pairs"] == 990

@@ -5,7 +5,7 @@ from repro.experiments import hetero_comparison, static_comparison
 
 def test_bench_fig16_hetero_gain(benchmark):
     result = benchmark(hetero_comparison.run)
-    summary = result["summary"]
+    summary = result.summary
 
     assert summary["pairs"] == 990
     assert summary["min"] >= 1.0 - 1e-9
@@ -16,14 +16,14 @@ def test_bench_fig16_hetero_gain(benchmark):
 
     # The per-utility heterogeneous cores differ from one another
     # (otherwise this would degenerate to Figure 15).
-    configs = set(result["per_utility_configs"].values())
+    configs = set(result.per_utility_configs.values())
     assert len(configs) >= 2
 
 
 def test_bench_fig16_weaker_than_fig15(benchmark):
     """A tuned heterogeneous mix serves customers better than a single
     static core, so gains over it are smaller (paper: 3x vs 5x)."""
-    hetero = benchmark(lambda: hetero_comparison.run()["summary"])
-    static = static_comparison.run()["summary"]
+    hetero = benchmark(lambda: hetero_comparison.run().summary)
+    static = static_comparison.run().summary
     assert hetero["mean"] <= static["mean"]
     assert hetero["max"] <= static["max"]

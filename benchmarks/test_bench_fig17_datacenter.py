@@ -5,7 +5,7 @@ from repro.experiments import datacenter_mix
 
 def test_bench_fig17_datacenter_mix(benchmark):
     result = benchmark(datacenter_mix.run)
-    optima = result["optimal_big_fraction"]
+    optima = result.optimal_big_fraction
 
     # Paper: "depending on application mix, different ratios of big and
     # small cores are required" - the optimum must move with the mix.
@@ -15,5 +15,5 @@ def test_bench_fig17_datacenter_mix(benchmark):
     assert optima[0.0] > optima[1.0]
 
     # Every surface point is a valid utility/area value.
-    for points in result["surfaces"].values():
+    for points in result.surfaces.values():
         assert all(p.utility_per_area > 0 for p in points)

@@ -4,7 +4,7 @@ from repro.experiments import optima
 
 
 def test_bench_tab4_optima(benchmark):
-    table = benchmark(optima.run)
+    table = benchmark(optima.run).table
 
     # Paper Section 5.5: optima are non-uniform across benchmarks.
     diversity = optima.configuration_diversity(table)

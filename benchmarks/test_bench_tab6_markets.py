@@ -4,7 +4,7 @@ from repro.experiments import markets
 
 
 def test_bench_tab6_markets(benchmark):
-    table = benchmark(markets.run)
+    table = benchmark(markets.run).table
 
     # 3 markets x 3 utilities x 15 benchmarks.
     assert len(table) == 3 * 3 * 15

@@ -10,7 +10,7 @@ from repro.trace.phases import gcc_phases
 
 
 def test_bench_tab7_phases(benchmark):
-    results = benchmark(phases.run)
+    results = benchmark(phases.run).schedules
 
     gains = {name: r.gain for name, r in results.items()}
 

@@ -16,6 +16,8 @@ A full reproduction of Zhou & Wentzlaff, ASPLOS 2014.  The package layers:
 * :mod:`repro.cloud` - fabric, hypervisor, scheduler, meta-programs and
   auto-tuner;
 * :mod:`repro.baselines` - static fixed and heterogeneous baselines;
+* :mod:`repro.engine` - the parallel sweep engine with its persistent
+  result cache and run metrics;
 * :mod:`repro.experiments` - one runner per paper table and figure.
 
 Quickstart::
@@ -28,6 +30,14 @@ Quickstart::
     optimizer = UtilityOptimizer(model=model)
     choice = optimizer.best("gcc", UTILITY2, MARKET2)
     print(choice.cache_kb, choice.slices, choice.vcores)
+
+Sweep-engine quickstart (parallel fan-out + on-disk result cache)::
+
+    from repro import SweepEngine, SweepSpec
+
+    engine = SweepEngine(jobs=4)
+    sweep = engine.run(SweepSpec(benchmarks=("gcc", "bzip")))
+    print(sweep.grid("gcc")[(512.0, 4)], sweep.cache_hits)
 """
 
 from repro.area import AreaModel
@@ -47,6 +57,15 @@ from repro.economics import (
     UtilityFunction,
     UtilityOptimizer,
 )
+from repro.engine import (
+    GridModel,
+    ResultCache,
+    RunMetrics,
+    SweepEngine,
+    SweepResult,
+    SweepSpec,
+)
+from repro.experiments.base import Experiment, ExperimentResult
 from repro.perfmodel import AnalyticModel, CACHE_GRID_KB, SLICE_GRID
 from repro.trace import (
     BenchmarkProfile,
@@ -82,6 +101,14 @@ __all__ = [
     "AnalyticModel",
     "CACHE_GRID_KB",
     "SLICE_GRID",
+    "Experiment",
+    "ExperimentResult",
+    "GridModel",
+    "ResultCache",
+    "RunMetrics",
+    "SweepEngine",
+    "SweepResult",
+    "SweepSpec",
     "BenchmarkProfile",
     "SyntheticTraceGenerator",
     "Trace",

@@ -40,9 +40,20 @@ _EXPERIMENTS = {
 }
 
 
-def _cmd_experiments(_args) -> int:
+def _cmd_experiments(args) -> int:
     from repro.experiments import runner
-    return runner.main()
+    argv = []
+    for name in args.only or ():
+        argv += ["--only", name]
+    if args.jobs != 1:
+        argv += ["--jobs", str(args.jobs)]
+    if args.json:
+        argv += ["--json", args.json]
+    if args.no_cache:
+        argv.append("--no-cache")
+    if args.cache_dir:
+        argv += ["--cache-dir", args.cache_dir]
+    return runner.main(argv)
 
 
 def _cmd_experiment(args) -> int:
@@ -99,9 +110,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("experiments",
-                   help="run every table/figure").set_defaults(
-        func=_cmd_experiments)
+    exp = sub.add_parser("experiments", help="run every table/figure")
+    exp.add_argument("--only", action="append", metavar="NAME",
+                     default=None, help="run only this experiment "
+                     "(repeatable; see `repro list`)")
+    exp.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="sweep-engine worker processes")
+    exp.add_argument("--json", metavar="PATH", default=None,
+                     help="export results + metrics as JSON")
+    exp.add_argument("--no-cache", action="store_true",
+                     help="disable the persistent result cache")
+    exp.add_argument("--cache-dir", metavar="DIR", default=None,
+                     help="result-cache directory")
+    exp.set_defaults(func=_cmd_experiments)
 
     one = sub.add_parser("experiment", help="run one artefact")
     one.add_argument("name", help="fig12, tab6, parsec, ...")

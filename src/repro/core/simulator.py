@@ -33,7 +33,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import SimConfig
@@ -82,10 +82,23 @@ class SharingSimulator:
     """
 
     def __init__(self, trace: Trace, config: Optional[SimConfig] = None,
+                 num_slices: Optional[int] = None,
+                 l2_cache_kb: Optional[float] = None,
                  warmup_trace: Optional[Trace] = None,
-                 warmup_addresses: Optional[Sequence[int]] = None):
+                 warmup_addresses: Optional[Sequence[int]] = None,
+                 timeout: Optional[int] = None):
         self.trace = trace
-        self.config = config or SimConfig()
+        cfg = config or SimConfig()
+        if num_slices is not None or l2_cache_kb is not None:
+            cfg = cfg.with_vcore(
+                num_slices=(num_slices if num_slices is not None
+                            else cfg.vcore.num_slices),
+                l2_cache_kb=(l2_cache_kb if l2_cache_kb is not None
+                             else cfg.vcore.l2_cache_kb),
+            )
+        if timeout is not None:
+            cfg = replace(cfg, max_cycles=timeout)
+        self.config = cfg
         self.vcore = VCore(self.config)
         self.stats = SimStats()
         if warmup_trace is not None:
@@ -646,9 +659,16 @@ class SharingSimulator:
 def simulate(trace: Trace, num_slices: int = 1, l2_cache_kb: float = 128.0,
              config: Optional[SimConfig] = None,
              warmup_trace: Optional[Trace] = None,
-             warmup_addresses: Optional[Sequence[int]] = None) -> SimResult:
-    """Convenience wrapper: simulate ``trace`` on one VCore configuration."""
-    base = config or SimConfig()
-    cfg = base.with_vcore(num_slices=num_slices, l2_cache_kb=l2_cache_kb)
-    return SharingSimulator(trace, cfg, warmup_trace=warmup_trace,
-                            warmup_addresses=warmup_addresses).run()
+             warmup_addresses: Optional[Sequence[int]] = None,
+             timeout: Optional[int] = None) -> SimResult:
+    """Convenience wrapper: simulate ``trace`` on one VCore configuration.
+
+    Takes the same keywords as :class:`SharingSimulator` (``num_slices``,
+    ``l2_cache_kb``, ``warmup_trace``, ``warmup_addresses``, ``timeout``);
+    ``timeout`` caps the simulation at that many cycles.
+    """
+    return SharingSimulator(trace, config=config, num_slices=num_slices,
+                            l2_cache_kb=l2_cache_kb,
+                            warmup_trace=warmup_trace,
+                            warmup_addresses=warmup_addresses,
+                            timeout=timeout).run()

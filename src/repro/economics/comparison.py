@@ -69,13 +69,16 @@ class MarketEfficiencyComparison:
     def __init__(self, benchmarks: Sequence[str],
                  utilities: Sequence[UtilityFunction] = STANDARD_UTILITIES,
                  market: Market = MARKET2,
-                 optimizer: Optional[UtilityOptimizer] = None):
+                 optimizer: Optional[UtilityOptimizer] = None,
+                 engine=None):
         if not benchmarks:
             raise ValueError("need at least one benchmark")
         self.benchmarks = list(benchmarks)
         self.utilities = list(utilities)
         self.market = market
-        self.optimizer = optimizer or UtilityOptimizer()
+        self.optimizer = optimizer or UtilityOptimizer(engine=engine)
+        # One batch evaluation covers every per-config query below.
+        self.optimizer.prime(self.benchmarks)
         self.customers = [
             Customer(benchmark=b, utility=u)
             for b in self.benchmarks

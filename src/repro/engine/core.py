@@ -1,0 +1,428 @@
+"""The sweep engine: grid expansion, parallel fan-out, cached results.
+
+The paper's evaluation is an exhaustive sweep machine: every figure and
+table re-evaluates ``P(c, s)`` (and utilities on top of it) over the
+Equation 3 grid.  :class:`SweepEngine` centralises that:
+
+1. a :class:`SweepSpec` names the axes - benchmarks x cache_kb x slices,
+   optionally x utility x market - and expands into :class:`WorkUnit`\\ s,
+   one per (benchmark[, utility, market]) chunk over the config grid;
+2. work units fan across a ``concurrent.futures.ProcessPoolExecutor``
+   with chunking, falling back to in-process serial evaluation for small
+   grids (pool startup costs more than tiny sweeps);
+3. every unit is backed by the content-addressed on-disk
+   :class:`~repro.engine.cache.ResultCache` - warm runs skip evaluation
+   entirely;
+4. every sweep is recorded in :class:`~repro.engine.metrics.EngineMetrics`
+   (units, points, hits/misses, wall time, workers).
+
+Experiments usually do not call :meth:`SweepEngine.run` directly; they
+take a :class:`GridModel` from :meth:`SweepEngine.grid_model` - an
+:class:`~repro.perfmodel.model.AnalyticModel` drop-in whose
+``performance()`` serves from an engine-filled table - and pass it down
+existing ``model=`` parameters.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import (
+    Any, Dict, Iterable, List, Optional, Sequence, Tuple,
+)
+
+from repro.engine.cache import ResultCache
+from repro.engine.metrics import EngineMetrics, SweepRecord
+from repro.perfmodel.model import (
+    AnalyticModel,
+    CACHE_GRID_KB,
+    ProfileLike,
+    SLICE_GRID,
+    calibration_constants,
+    profile_key,
+)
+from repro.trace.profiles import BenchmarkProfile
+
+#: Below this many pending grid points a sweep runs serially in-process;
+#: process-pool startup dwarfs the evaluation for small grids.
+DEFAULT_PARALLEL_THRESHOLD = 1024
+
+KindKey = Tuple[Any, ...]
+
+
+def _norm_utility(utility: Any) -> Tuple[str, float]:
+    """(name, perf_exponent) from a UtilityFunction-like object."""
+    return (str(utility.name), float(utility.perf_exponent))
+
+
+def _norm_market(market: Any) -> Tuple[str, float, float, float]:
+    """(name, slice_price, bank_price, fixed_cost) from a Market-like."""
+    return (str(market.name), float(market.slice_price),
+            float(market.bank_price), float(market.fixed_cost))
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One schedulable evaluation: a config grid for one benchmark
+    (optionally under one utility function in one market).
+
+    All fields are primitives, so units pickle cheaply to workers and
+    hash deterministically into cache keys.
+    """
+
+    kind: str  # "performance" | "utility"
+    profile_fields: Tuple[Tuple[str, Any], ...]
+    cache_grid: Tuple[float, ...]
+    slice_grid: Tuple[int, ...]
+    calibration: Tuple[Tuple[str, float], ...]
+    utility: Optional[Tuple[str, float]] = None
+    market: Optional[Tuple[str, float, float, float]] = None
+    budget: float = 0.0
+
+    @property
+    def benchmark(self) -> str:
+        return dict(self.profile_fields)["name"]
+
+    @property
+    def points(self) -> int:
+        return len(self.cache_grid) * len(self.slice_grid)
+
+    def result_key(self) -> KindKey:
+        """How this unit's grid is addressed in a :class:`SweepResult`."""
+        if self.kind == "performance":
+            return (self.benchmark,)
+        return (self.benchmark, self.utility[0], self.market[0])
+
+    def key_fields(self) -> Dict[str, Any]:
+        """The full content-address basis for the on-disk cache."""
+        return {
+            "kind": self.kind,
+            "profile": list(self.profile_fields),
+            "cache_grid": list(self.cache_grid),
+            "slice_grid": list(self.slice_grid),
+            "calibration": list(self.calibration),
+            "utility": list(self.utility) if self.utility else None,
+            "market": list(self.market) if self.market else None,
+            "budget": self.budget,
+        }
+
+    def cache_key(self) -> str:
+        return ResultCache.make_key(self.key_fields())
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """Axes of one sweep: benchmarks x cache_kb x slices [x utility x
+    market].  ``benchmarks`` accepts names or raw profiles; utilities
+    and markets are duck-typed (any object carrying the paper's fields).
+    """
+
+    benchmarks: Tuple[Any, ...]
+    cache_grid: Tuple[float, ...] = CACHE_GRID_KB
+    slice_grid: Tuple[int, ...] = SLICE_GRID
+    utilities: Tuple[Any, ...] = ()
+    markets: Tuple[Any, ...] = ()
+    budget: float = 0.0
+
+    def expand(self, model: Optional[AnalyticModel] = None
+               ) -> List[WorkUnit]:
+        """The spec's work units, in deterministic axis order."""
+        calibration = model_calibration(model or AnalyticModel())
+        cache_grid = tuple(float(c) for c in self.cache_grid)
+        slice_grid = tuple(int(s) for s in self.slice_grid)
+        units: List[WorkUnit] = []
+        for bench in self.benchmarks:
+            fields = profile_key(bench)
+            if not self.utilities and not self.markets:
+                units.append(WorkUnit(
+                    kind="performance",
+                    profile_fields=fields,
+                    cache_grid=cache_grid,
+                    slice_grid=slice_grid,
+                    calibration=calibration,
+                ))
+                continue
+            for utility in self.utilities:
+                for market in self.markets:
+                    units.append(WorkUnit(
+                        kind="utility",
+                        profile_fields=fields,
+                        cache_grid=cache_grid,
+                        slice_grid=slice_grid,
+                        calibration=calibration,
+                        utility=_norm_utility(utility),
+                        market=_norm_market(market),
+                        budget=float(self.budget),
+                    ))
+        return units
+
+
+def model_calibration(model: AnalyticModel
+                      ) -> Tuple[Tuple[str, float], ...]:
+    """Calibration fingerprint: module constants + instance parameters."""
+    constants = dict(calibration_constants())
+    constants["comm_tolerance"] = float(model.comm_tolerance)
+    constants["mlp_per_slice"] = float(model.mlp_per_slice)
+    return tuple(sorted(constants.items()))
+
+
+def evaluate_unit(unit: WorkUnit) -> List[List[float]]:
+    """Evaluate one work unit; runs in worker processes and in-process.
+
+    Returns JSON-stable rows ``[[cache_kb, slices, value], ...]`` in
+    (cache outer, slice inner) grid order.
+    """
+    fields = dict(unit.profile_fields)
+    profile = BenchmarkProfile(**fields)
+    calibration = dict(unit.calibration)
+    model = AnalyticModel(
+        comm_tolerance=calibration["comm_tolerance"],
+        mlp_per_slice=calibration["mlp_per_slice"],
+    )
+    if unit.kind == "performance":
+        return [
+            [c, s, model.performance(profile, c, s)]
+            for c in unit.cache_grid
+            for s in unit.slice_grid
+        ]
+    if unit.kind == "utility":
+        # Import lazily so the engine has no load-time economics
+        # dependency (economics imports the engine).
+        from repro.economics.market import Market
+        from repro.economics.utility import UtilityFunction
+
+        uname, exponent = unit.utility
+        mname, slice_price, bank_price, fixed_cost = unit.market
+        utility = UtilityFunction(name=uname, perf_exponent=exponent)
+        market = Market(name=mname, slice_price=slice_price,
+                        bank_price=bank_price, fixed_cost=fixed_cost)
+        rows = []
+        for c in unit.cache_grid:
+            for s in unit.slice_grid:
+                perf = model.performance(profile, c, s)
+                vcores = market.vcores_affordable(unit.budget, c, s)
+                rows.append([c, s, utility.value(perf, vcores)])
+        return rows
+    raise ValueError(f"unknown work-unit kind {unit.kind!r}")
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """All evaluated grids of one sweep, plus its accounting."""
+
+    values: Dict[KindKey, Dict[Tuple[float, int], float]]
+    units: int
+    points: int
+    cache_hits: int
+    cache_misses: int
+    elapsed_s: float
+    workers: int
+    parallel: bool
+
+    def grid(self, benchmark: ProfileLike, utility: Any = None,
+             market: Any = None) -> Dict[Tuple[float, int], float]:
+        """One benchmark's ``{(cache_kb, slices): value}`` grid."""
+        name = benchmark.name if isinstance(benchmark, BenchmarkProfile) \
+            else str(benchmark)
+        if utility is None and market is None:
+            return self.values[(name,)]
+        uname = utility if isinstance(utility, str) else utility.name
+        mname = market if isinstance(market, str) else market.name
+        return self.values[(name, uname, mname)]
+
+
+class SweepEngine:
+    """Expands sweep specs, schedules work units, caches results."""
+
+    def __init__(self, jobs: Optional[int] = None,
+                 cache: Optional[ResultCache] = None,
+                 parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD,
+                 metrics: Optional[EngineMetrics] = None):
+        if jobs is not None and jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+        self.cache = cache if cache is not None else ResultCache()
+        self.parallel_threshold = parallel_threshold
+        self.metrics = metrics if metrics is not None else EngineMetrics()
+
+    # ------------------------------------------------------------------
+    # core scheduling
+    # ------------------------------------------------------------------
+
+    def run(self, spec: SweepSpec,
+            model: Optional[AnalyticModel] = None) -> SweepResult:
+        """Evaluate a spec: expand, consult the cache, fan out the rest."""
+        start = time.perf_counter()
+        units = spec.expand(model)
+        results: Dict[WorkUnit, List[List[float]]] = {}
+        pending: List[WorkUnit] = []
+        hits = 0
+        for unit in units:
+            cached = self.cache.get(unit.cache_key())
+            if cached is not None:
+                results[unit] = cached
+                hits += 1
+            else:
+                pending.append(unit)
+
+        pending_points = sum(u.points for u in pending)
+        workers = min(self.jobs, len(pending)) if pending else 0
+        parallel = (workers > 1
+                    and pending_points >= self.parallel_threshold)
+        if parallel:
+            chunksize = max(1, math.ceil(len(pending) / (workers * 4)))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                for unit, rows in zip(
+                    pending,
+                    pool.map(evaluate_unit, pending, chunksize=chunksize),
+                ):
+                    results[unit] = rows
+        else:
+            workers = 1 if pending else 0
+            for unit in pending:
+                results[unit] = evaluate_unit(unit)
+        for unit in pending:
+            self.cache.put(unit.cache_key(), results[unit],
+                           key_fields=unit.key_fields())
+
+        values: Dict[KindKey, Dict[Tuple[float, int], float]] = {}
+        for unit in units:
+            values[unit.result_key()] = {
+                (float(c), int(s)): v for c, s, v in results[unit]
+            }
+        elapsed = time.perf_counter() - start
+        sweep = SweepResult(
+            values=values,
+            units=len(units),
+            points=sum(u.points for u in units),
+            cache_hits=hits,
+            cache_misses=len(pending),
+            elapsed_s=elapsed,
+            workers=workers,
+            parallel=parallel,
+        )
+        self.metrics.record(SweepRecord(
+            kind=units[0].kind if units else "empty",
+            units=sweep.units,
+            points=sweep.points,
+            cache_hits=hits,
+            cache_misses=len(pending),
+            evaluated_points=pending_points,
+            elapsed_s=elapsed,
+            workers=workers,
+            parallel=parallel,
+        ))
+        return sweep
+
+    # ------------------------------------------------------------------
+    # convenience maps
+    # ------------------------------------------------------------------
+
+    def performance_map(self, benchmarks: Sequence[ProfileLike],
+                        cache_grid: Sequence[float] = CACHE_GRID_KB,
+                        slice_grid: Sequence[int] = SLICE_GRID,
+                        model: Optional[AnalyticModel] = None
+                        ) -> SweepResult:
+        """``P(c, s)`` grids for several benchmarks in one fan-out."""
+        return self.run(
+            SweepSpec(
+                benchmarks=tuple(benchmarks),
+                cache_grid=tuple(cache_grid),
+                slice_grid=tuple(slice_grid),
+            ),
+            model=model,
+        )
+
+    def utility_map(self, benchmarks: Sequence[ProfileLike],
+                    utilities: Sequence[Any], markets: Sequence[Any],
+                    budget: float,
+                    cache_grid: Sequence[float] = CACHE_GRID_KB,
+                    slice_grid: Sequence[int] = SLICE_GRID,
+                    model: Optional[AnalyticModel] = None) -> SweepResult:
+        """Utility grids for benchmark x utility x market in one fan-out."""
+        return self.run(
+            SweepSpec(
+                benchmarks=tuple(benchmarks),
+                cache_grid=tuple(cache_grid),
+                slice_grid=tuple(slice_grid),
+                utilities=tuple(utilities),
+                markets=tuple(markets),
+                budget=budget,
+            ),
+            model=model,
+        )
+
+    def grid_model(self, cache_grid: Sequence[float] = CACHE_GRID_KB,
+                   slice_grid: Sequence[int] = SLICE_GRID,
+                   model: Optional[AnalyticModel] = None,
+                   profiles: Optional[Iterable[ProfileLike]] = None
+                   ) -> "GridModel":
+        """An AnalyticModel drop-in backed by this engine's sweeps."""
+        grid = GridModel(self, cache_grid=cache_grid,
+                         slice_grid=slice_grid, base=model)
+        if profiles is not None:
+            grid.prime(list(profiles))
+        return grid
+
+
+class GridModel(AnalyticModel):
+    """An :class:`AnalyticModel` whose ``performance()`` serves from an
+    engine-filled (cached, fan-out-evaluated) table.
+
+    Off-grid configurations and non-performance queries (``breakdown``)
+    fall back to the plain analytic pipeline, so this is a transparent
+    drop-in anywhere a model is accepted.  Priming batches benchmarks
+    into one engine sweep; unprimed benchmarks are fetched on first use.
+    """
+
+    def __init__(self, engine: SweepEngine,
+                 cache_grid: Sequence[float] = CACHE_GRID_KB,
+                 slice_grid: Sequence[int] = SLICE_GRID,
+                 base: Optional[AnalyticModel] = None):
+        base = base or AnalyticModel()
+        super().__init__(comm_tolerance=base.comm_tolerance,
+                         mlp_per_slice=base.mlp_per_slice)
+        self._engine = engine
+        self._cache_grid = tuple(float(c) for c in cache_grid)
+        self._slice_grid = tuple(int(s) for s in slice_grid)
+        self._table: Dict[Tuple[BenchmarkProfile, float, int], float] = {}
+        self._primed: set = set()
+
+    def prime(self, profiles: Sequence[ProfileLike]) -> None:
+        """Fill the table for ``profiles`` in one engine sweep."""
+        from repro.perfmodel.model import _resolve
+
+        fresh = []
+        for profile in profiles:
+            prof = _resolve(profile)
+            if prof not in self._primed:
+                fresh.append(prof)
+        if not fresh:
+            return
+        sweep = self._engine.performance_map(
+            fresh, self._cache_grid, self._slice_grid, model=self
+        )
+        for prof in fresh:
+            for (c, s), value in sweep.grid(prof).items():
+                self._table[(prof, c, s)] = value
+            self._primed.add(prof)
+
+    def performance(self, profile: ProfileLike, cache_kb: float,
+                    slices: int) -> float:
+        from repro.perfmodel.model import _resolve
+
+        prof = _resolve(profile)
+        key = (prof, float(cache_kb), int(slices))
+        value = self._table.get(key)
+        if value is not None:
+            return value
+        if prof not in self._primed:
+            self.prime([prof])
+            value = self._table.get(key)
+            if value is not None:
+                return value
+        # Off-grid point: compute through the plain analytic pipeline.
+        return super().performance(prof, cache_kb, slices)

@@ -1,0 +1,146 @@
+"""Structured run metrics for the sweep engine.
+
+Two layers:
+
+* :class:`EngineMetrics` - accumulated by the engine itself, one record
+  per sweep: work units, grid points, cache hits/misses, evaluation wall
+  time, and how many workers the sweep fanned across.
+* :class:`RunMetrics` - used by the experiment runner to attribute
+  engine activity and wall time to individual experiments (it snapshots
+  the engine counters around each ``run()`` call), and to export the
+  whole run as JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+_TOTAL_FIELDS = ("sweeps", "units", "points", "cache_hits", "cache_misses",
+                 "evaluated_units", "evaluated_points", "parallel_sweeps",
+                 "eval_elapsed_s")
+
+
+@dataclass
+class SweepRecord:
+    """One engine sweep's accounting."""
+
+    kind: str
+    units: int
+    points: int
+    cache_hits: int
+    cache_misses: int
+    evaluated_points: int
+    elapsed_s: float
+    workers: int
+    parallel: bool
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "units": self.units,
+            "points": self.points,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "evaluated_points": self.evaluated_points,
+            "elapsed_s": self.elapsed_s,
+            "workers": self.workers,
+            "parallel": self.parallel,
+        }
+
+
+@dataclass
+class EngineMetrics:
+    """Aggregate counters plus the per-sweep record stream."""
+
+    records: List[SweepRecord] = field(default_factory=list)
+
+    def record(self, record: SweepRecord) -> None:
+        self.records.append(record)
+
+    def totals(self) -> Dict[str, float]:
+        totals: Dict[str, float] = {name: 0 for name in _TOTAL_FIELDS}
+        max_workers = 0
+        for rec in self.records:
+            totals["sweeps"] += 1
+            totals["units"] += rec.units
+            totals["points"] += rec.points
+            totals["cache_hits"] += rec.cache_hits
+            totals["cache_misses"] += rec.cache_misses
+            totals["evaluated_units"] += rec.cache_misses
+            totals["evaluated_points"] += rec.evaluated_points
+            totals["parallel_sweeps"] += 1 if rec.parallel else 0
+            totals["eval_elapsed_s"] += rec.elapsed_s
+            max_workers = max(max_workers, rec.workers)
+        totals["max_workers"] = max_workers
+        hits, misses = totals["cache_hits"], totals["cache_misses"]
+        looked_up = hits + misses
+        totals["cache_hit_rate"] = hits / looked_up if looked_up else 0.0
+        elapsed = totals["eval_elapsed_s"]
+        totals["points_per_sec"] = (
+            totals["points"] / elapsed if elapsed > 0 else 0.0
+        )
+        return totals
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "totals": self.totals(),
+            "sweeps": [rec.to_dict() for rec in self.records],
+        }
+
+
+def _delta(after: Dict[str, float], before: Dict[str, float]
+           ) -> Dict[str, float]:
+    return {
+        name: after.get(name, 0) - before.get(name, 0)
+        for name in _TOTAL_FIELDS
+    }
+
+
+class RunMetrics:
+    """Per-experiment wall time + engine activity for one runner pass."""
+
+    def __init__(self, engine: Optional[Any] = None):
+        self.engine = engine
+        self.experiments: List[Dict[str, Any]] = []
+        self._t0 = time.perf_counter()
+
+    @contextmanager
+    def measure(self, name: str):
+        before = self.engine.metrics.totals() if self.engine else {}
+        start = time.perf_counter()
+        entry: Dict[str, Any] = {"name": name}
+        try:
+            yield entry
+        finally:
+            wall = time.perf_counter() - start
+            after = self.engine.metrics.totals() if self.engine else {}
+            entry["wall_s"] = wall
+            entry["engine"] = _delta(after, before)
+            entry["engine"]["points_per_sec"] = (
+                entry["engine"]["points"] / wall if wall > 0 else 0.0
+            )
+            self.experiments.append(entry)
+
+    @property
+    def total_wall_s(self) -> float:
+        return sum(e["wall_s"] for e in self.experiments)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "total_wall_s": self.total_wall_s,
+            "experiments": self.experiments,
+        }
+        if self.engine is not None:
+            out["engine"] = self.engine.metrics.totals()
+            out["engine"]["jobs"] = self.engine.jobs
+            out["engine"]["cache"] = dict(self.engine.cache.counters())
+            out["engine"]["cache_enabled"] = self.engine.cache.enabled
+            out["engine"]["cache_dir"] = str(self.engine.cache.root)
+        return out
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, default=str)

@@ -1,8 +1,12 @@
 """Experiment harness: one runner per paper table and figure.
 
-Each module exposes a ``run()`` returning plain data (rows/series shaped
-like the paper's artefact) and a ``main()`` that prints it.  The
-benchmark suite in ``benchmarks/`` wraps these runners with
+Each module follows the :mod:`repro.experiments.base` protocol: ``NAME``,
+a pure ``run(..., engine=None)`` returning a frozen
+:class:`~repro.experiments.base.ExperimentResult` subclass, a
+``render(result)`` printer and a thin ``main()``.  Passing a
+:class:`~repro.engine.core.SweepEngine` sources grids through the
+parallel, cache-backed sweep path; the numbers are identical either way.
+The benchmark suite in ``benchmarks/`` wraps these runners with
 pytest-benchmark so every artefact is regenerated and timed by
 ``pytest benchmarks/ --benchmark-only``.
 
@@ -26,6 +30,7 @@ ablation   operand-network channel count (Section 5.1)
 """
 
 from repro.experiments import (  # noqa: F401
+    base,
     area_decomposition,
     scalability,
     cache_sensitivity,

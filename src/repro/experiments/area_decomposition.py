@@ -7,36 +7,76 @@ of one Slice without L2 (Figure 10) and of a Slice-plus-64 KB-bank tile
 
 from __future__ import annotations
 
-from typing import Dict
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
 
 from repro.area.model import AreaModel
+from repro.experiments.base import ExperimentResult
+
+NAME = "area_decomposition"
 
 
-def run(area_model: AreaModel = None) -> Dict[str, Dict[str, float]]:
+@dataclass(frozen=True)
+class AreaDecompositionResult(ExperimentResult):
+    """Component shares (Figures 10/11) plus the Sharing Overhead."""
+
+    fig10_without_l2: Dict[str, float]
+    fig11_with_l2: Dict[str, float]
+    sharing_overhead_pct: Dict[str, float]
+
+
+def run(area_model: Optional[AreaModel] = None,
+        engine=None) -> AreaDecompositionResult:
+    """Figures 10/11 as a frozen result.
+
+    ``engine`` is accepted for runner uniformity; this experiment is
+    pure area accounting and has no performance grid to sweep.
+    """
+    start = time.perf_counter()
     model = area_model or AreaModel()
-    return {
-        "fig10_without_l2": model.decomposition_without_l2(),
-        "fig11_with_l2": model.decomposition_with_l2(),
-        "sharing_overhead_pct": {
-            "without_l2": model.sharing_overhead_pct_without_l2(),
-            "with_l2": model.sharing_overhead_pct_with_l2(),
-        },
+    fig10 = model.decomposition_without_l2()
+    fig11 = model.decomposition_with_l2()
+    overhead = {
+        "without_l2": model.sharing_overhead_pct_without_l2(),
+        "with_l2": model.sharing_overhead_pct_with_l2(),
     }
+    rows = tuple(
+        {"figure": figure, "component": component, "pct": pct}
+        for figure, decomposition in (("fig10_without_l2", fig10),
+                                      ("fig11_with_l2", fig11))
+        for component, pct in decomposition.items()
+    )
+    return AreaDecompositionResult(
+        name=NAME,
+        params={},
+        rows=rows,
+        elapsed=time.perf_counter() - start,
+        fig10_without_l2=fig10,
+        fig11_with_l2=fig11,
+        sharing_overhead_pct=overhead,
+    )
 
 
-def main() -> None:
-    result = run()
-    for figure in ("fig10_without_l2", "fig11_with_l2"):
+def render(result: AreaDecompositionResult) -> None:
+    for figure, decomposition in (
+        ("fig10_without_l2", result.fig10_without_l2),
+        ("fig11_with_l2", result.fig11_with_l2),
+    ):
         print(f"== {figure} ==")
         for component, pct in sorted(
-            result[figure].items(), key=lambda kv: -kv[1]
+            decomposition.items(), key=lambda kv: -kv[1]
         ):
             print(f"  {component:22} {pct:5.1f}%")
-    overhead = result["sharing_overhead_pct"]
+    overhead = result.sharing_overhead_pct
     print(
         f"Sharing overhead: {overhead['without_l2']:.1f}% of a Slice, "
         f"{overhead['with_l2']:.1f}% of a Slice+bank tile"
     )
+
+
+def main() -> None:
+    render(run())
 
 
 if __name__ == "__main__":

@@ -9,42 +9,91 @@ always optimally service heterogeneous workloads in the cloud."
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
 
-from repro.baselines.heterogeneous import HeterogeneousDatacenter
+from repro.baselines.heterogeneous import (
+    BIG_CORE,
+    SMALL_CORE,
+    HeterogeneousDatacenter,
+    MixPoint,
+)
+from repro.experiments.base import ExperimentResult
+
+NAME = "datacenter_mix"
 
 DEFAULT_BIG_FRACTIONS = tuple(i / 10 for i in range(11))
 DEFAULT_APP_FRACTIONS = (0.0, 0.25, 0.5, 0.75, 1.0)
 
 
+@dataclass(frozen=True)
+class DatacenterMixResult(ExperimentResult):
+    """Figure 17's surfaces and per-app-mix optimal core ratios."""
+
+    surfaces: Dict[float, Tuple[MixPoint, ...]]
+    optimal_big_fraction: Dict[float, float]
+    apps: Tuple[str, str]
+
+
 def run(app_a: str = "hmmer", app_b: str = "gobmk",
         big_fractions: Sequence[float] = DEFAULT_BIG_FRACTIONS,
         app_fractions: Sequence[float] = DEFAULT_APP_FRACTIONS,
-        datacenter: Optional[HeterogeneousDatacenter] = None) -> Dict:
-    dc = datacenter or HeterogeneousDatacenter(app_a=app_a, app_b=app_b)
-    surfaces = dc.sweep(big_fractions, app_fractions)
+        datacenter: Optional[HeterogeneousDatacenter] = None,
+        engine=None) -> DatacenterMixResult:
+    """Figure 17 as a frozen result."""
+    start = time.perf_counter()
+    if datacenter is None:
+        model = None
+        if engine is not None:
+            grids = sorted({BIG_CORE.cache_kb, SMALL_CORE.cache_kb})
+            slices = sorted({BIG_CORE.slices, SMALL_CORE.slices})
+            model = engine.grid_model(cache_grid=tuple(grids),
+                                     slice_grid=tuple(slices),
+                                     profiles=[app_a, app_b])
+        datacenter = HeterogeneousDatacenter(app_a=app_a, app_b=app_b,
+                                             model=model)
+    surfaces = {
+        app_frac: tuple(points)
+        for app_frac, points in datacenter.sweep(
+            big_fractions, app_fractions
+        ).items()
+    }
     optima = {
-        app_frac: dc.optimal_big_fraction(app_frac, big_fractions)
+        app_frac: datacenter.optimal_big_fraction(app_frac, big_fractions)
         for app_frac in app_fractions
     }
-    return {
-        "surfaces": surfaces,
-        "optimal_big_fraction": optima,
-        "apps": (app_a, app_b),
-    }
+    rows = tuple(
+        {"app_a_fraction": app_frac, "optimal_big_fraction": big_frac}
+        for app_frac, big_frac in optima.items()
+    )
+    return DatacenterMixResult(
+        name=NAME,
+        params={"app_a": app_a, "app_b": app_b,
+                "big_fractions": list(big_fractions),
+                "app_fractions": list(app_fractions)},
+        rows=rows,
+        elapsed=time.perf_counter() - start,
+        surfaces=surfaces,
+        optimal_big_fraction=optima,
+        apps=(app_a, app_b),
+    )
 
 
-def main() -> None:
-    result = run()
-    app_a, app_b = result["apps"]
+def render(result: DatacenterMixResult) -> None:
+    app_a, app_b = result.apps
     print(f"Figure 17: big/small core mix serving {app_a}/{app_b}")
     print(f"  ({app_a} fraction) -> optimal big-core fraction")
-    for app_frac, big_frac in result["optimal_big_fraction"].items():
+    for app_frac, big_frac in result.optimal_big_fraction.items():
         print(f"  {app_frac:4.2f} -> {big_frac:4.2f}")
-    distinct = len(set(result["optimal_big_fraction"].values()))
+    distinct = len(set(result.optimal_big_fraction.values()))
     print(f"  distinct optimal mixes across app ratios: {distinct}")
     print("  (a fixed mixture cannot serve every mix optimally)"
           if distinct > 1 else "  WARNING: mixes did not diverge")
+
+
+def main() -> None:
+    render(run())
 
 
 if __name__ == "__main__":

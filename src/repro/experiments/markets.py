@@ -8,31 +8,62 @@ move when demand-driven prices depart from area costs.
 
 from __future__ import annotations
 
+import time
+from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.economics.market import STANDARD_MARKETS, Market
 from repro.economics.optimizer import UtilityOptimizer
 from repro.economics.utility import STANDARD_UTILITIES, UtilityFunction
+from repro.experiments.base import ExperimentResult
 from repro.trace.profiles import all_benchmarks
+
+NAME = "markets"
+
+MarketTable = Dict[Tuple[str, str, str], Tuple[float, int]]
+
+
+@dataclass(frozen=True)
+class MarketsResult(ExperimentResult):
+    """``{(market, utility, benchmark): (cache_kb, slices)}`` + shifts."""
+
+    table: MarketTable
+    shifts: Dict[str, float]
 
 
 def run(benchmarks: Optional[Sequence[str]] = None,
         markets: Sequence[Market] = STANDARD_MARKETS,
         utilities: Sequence[UtilityFunction] = STANDARD_UTILITIES,
-        optimizer: Optional[UtilityOptimizer] = None
-        ) -> Dict[Tuple[str, str, str], Tuple[float, int]]:
-    """``{(market, utility, benchmark): (cache_kb, slices)}``."""
-    optimizer = optimizer or UtilityOptimizer()
+        optimizer: Optional[UtilityOptimizer] = None,
+        engine=None) -> MarketsResult:
+    """Table 6 as a frozen result."""
+    start = time.perf_counter()
+    optimizer = optimizer or UtilityOptimizer(engine=engine)
     benchmarks = list(benchmarks or all_benchmarks())
-    table = optimizer.table6(benchmarks, utilities, markets)
-    return {
+    raw = optimizer.table6(benchmarks, utilities, markets)
+    table: MarketTable = {
         key: (choice.cache_kb, choice.slices)
-        for key, choice in table.items()
+        for key, choice in raw.items()
     }
+    shifts = market_shift_summary(table)
+    rows = tuple(
+        {"market": m, "utility": u, "benchmark": b,
+         "cache_kb": cfg[0], "slices": cfg[1]}
+        for (m, u, b), cfg in table.items()
+    )
+    return MarketsResult(
+        name=NAME,
+        params={"benchmarks": benchmarks,
+                "markets": [m.name for m in markets],
+                "utilities": [u.name for u in utilities]},
+        rows=rows,
+        elapsed=time.perf_counter() - start,
+        table=table,
+        shifts=shifts,
+    )
 
 
-def market_shift_summary(table: Dict[Tuple[str, str, str], Tuple[float, int]]
-                         ) -> Dict[str, float]:
+def market_shift_summary(table: MarketTable) -> Dict[str, float]:
     """How far optima move between markets, per utility function.
 
     Returns the fraction of benchmarks whose optimal configuration
@@ -52,8 +83,8 @@ def market_shift_summary(table: Dict[Tuple[str, str, str], Tuple[float, int]]
     return shifts
 
 
-def main() -> None:
-    table = run()
+def render(result: MarketsResult) -> None:
+    table = result.table
     markets = sorted({m for m, _, _ in table})
     utilities = sorted({u for _, u, _ in table})
     benches = sorted({b for _, _, b in table})
@@ -68,8 +99,11 @@ def main() -> None:
                 for u in utilities
             ]
             print(f"{b:11} " + "  ".join(f"{c:>12}" for c in cells))
-    print("fraction of optima moved Market1->Market3:",
-          market_shift_summary(table))
+    print("fraction of optima moved Market1->Market3:", result.shifts)
+
+
+def main() -> None:
+    render(run())
 
 
 if __name__ == "__main__":

@@ -1,10 +1,28 @@
-"""Run every experiment in sequence: ``python -m repro.experiments.runner``."""
+"""Run the paper's experiments through one engine-backed harness.
+
+``python -m repro.experiments.runner`` runs every table/figure in the
+paper's presentation order.  Flags:
+
+``--only <name>``   run one experiment (repeatable; see ``NAMES``)
+``--jobs N``        worker processes for the sweep engine (default 1)
+``--json <path>``   export all results + run metrics as JSON
+``--no-cache``      disable the persistent result cache
+``--cache-dir DIR`` cache location (default ``.repro_cache``)
+
+Every experiment goes through the same path: ``module.run(engine=...)``
+returns a frozen :class:`~repro.experiments.base.ExperimentResult`,
+``module.render(result)`` prints it, and the engine records per-sweep
+cache/fan-out metrics that land in the JSON export.
+"""
 
 from __future__ import annotations
 
+import argparse
+import json
 import sys
-import time
+from typing import Optional, Sequence
 
+from repro.engine import ResultCache, RunMetrics, SweepEngine
 from repro.experiments import (
     area_decomposition,
     cache_sensitivity,
@@ -20,8 +38,8 @@ from repro.experiments import (
     utility_surfaces,
 )
 
-#: (name, module) in the paper's presentation order.  The SON ablation is
-#: omitted here because it drives the cycle-level simulator (minutes);
+#: (title, module) in the paper's presentation order.  The SON ablation
+#: is omitted here because it drives the cycle-level simulator (minutes);
 #: run it directly via ``python -m repro.experiments.ablation_son``.
 EXPERIMENTS = (
     ("Figures 10-11 (area)", area_decomposition),
@@ -38,15 +56,72 @@ EXPERIMENTS = (
     ("Extension: Energy*Delay^n optima", energy_delay),
 )
 
+#: ``--only`` vocabulary, in run order.
+NAMES = tuple(module.NAME for _, module in EXPERIMENTS)
 
-def main() -> int:
-    for name, module in EXPERIMENTS:
+#: JSON export format version.
+EXPORT_SCHEMA = 1
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.runner",
+        description="Run the paper's tables and figures",
+    )
+    parser.add_argument("--only", action="append", choices=NAMES,
+                        metavar="NAME", default=None,
+                        help="run only this experiment (repeatable); "
+                             "one of: " + ", ".join(NAMES))
+    parser.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
+                        help="sweep-engine worker processes (default 1)")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write results + run metrics as JSON")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the persistent result cache")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="result-cache directory "
+                             "(default .repro_cache, or $REPRO_CACHE_DIR)")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    cache = ResultCache(root=args.cache_dir, enabled=not args.no_cache)
+    engine = SweepEngine(jobs=args.jobs, cache=cache)
+    run_metrics = RunMetrics(engine=engine)
+
+    selected = [
+        (title, module)
+        for title, module in EXPERIMENTS
+        if args.only is None or module.NAME in args.only
+    ]
+    results = []
+    for title, module in selected:
         print("=" * 72)
-        print(name)
+        print(title)
         print("=" * 72)
-        start = time.time()
-        module.main()
-        print(f"[{time.time() - start:.1f}s]\n")
+        with run_metrics.measure(module.NAME):
+            result = module.run(engine=engine)
+        module.render(result)
+        results.append(result)
+        print(f"[{result.elapsed:.1f}s]\n")
+
+    if args.json:
+        payload = {
+            "schema": EXPORT_SCHEMA,
+            "results": [r.to_dict(include_elapsed=False) for r in results],
+            "metrics": run_metrics.to_dict(),
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {args.json}")
     return 0
 
 

@@ -6,37 +6,74 @@ PARSEC benchmarks run 4 threads on 4 equally configured VCores, so the
 per-VCore speedup is what varies (and is bounded by ~2, Section 5.3).
 
 ``run()`` uses the analytic model (the sweep source for the paper-shaped
-curves); ``run_simulated()`` drives the cycle-level simulator on a short
-trace for anchor validation.
+curves), through the sweep engine when one is given; ``run_simulated()``
+drives the cycle-level simulator on a short trace for anchor validation.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.core.simulator import simulate
+from repro.experiments.base import ExperimentResult
 from repro.perfmodel.model import AnalyticModel, SLICE_GRID
 from repro.trace.generator import make_workload
 from repro.trace.profiles import all_benchmarks
 
+NAME = "scalability"
 BASELINE_CACHE_KB = 128.0
+
+
+@dataclass(frozen=True)
+class ScalabilityResult(ExperimentResult):
+    """Normalised performance per Slice count, per benchmark."""
+
+    slice_grid: Tuple[int, ...]
+    series: Dict[str, Tuple[float, ...]]
 
 
 def run(benchmarks: Optional[Sequence[str]] = None,
         slice_grid: Sequence[int] = SLICE_GRID,
-        model: Optional[AnalyticModel] = None) -> Dict[str, List[float]]:
-    """Normalised performance per Slice count, per benchmark."""
-    model = model or AnalyticModel()
+        model: Optional[AnalyticModel] = None,
+        engine=None) -> ScalabilityResult:
+    """Figure 12's curves as a frozen result."""
+    start = time.perf_counter()
     benchmarks = list(benchmarks or all_benchmarks())
-    return {
-        bench: [
+    slice_grid = tuple(int(s) for s in slice_grid)
+    if model is None:
+        if engine is not None:
+            grid = tuple(sorted({*slice_grid, 1}))
+            model = engine.grid_model(cache_grid=(BASELINE_CACHE_KB,),
+                                      slice_grid=grid,
+                                      profiles=benchmarks)
+        else:
+            model = AnalyticModel()
+    series = {
+        bench: tuple(
             model.speedup(bench, BASELINE_CACHE_KB, s,
                           baseline_cache_kb=BASELINE_CACHE_KB,
                           baseline_slices=1)
             for s in slice_grid
-        ]
+        )
         for bench in benchmarks
     }
+    rows = tuple(
+        {"benchmark": bench, "slices": s, "speedup": value}
+        for bench, values in series.items()
+        for s, value in zip(slice_grid, values)
+    )
+    return ScalabilityResult(
+        name=NAME,
+        params={"baseline_cache_kb": BASELINE_CACHE_KB,
+                "slice_grid": list(slice_grid),
+                "benchmarks": benchmarks},
+        rows=rows,
+        elapsed=time.perf_counter() - start,
+        slice_grid=slice_grid,
+        series=series,
+    )
 
 
 def run_simulated(benchmark: str = "gcc",
@@ -54,14 +91,17 @@ def run_simulated(benchmark: str = "gcc",
     return {s: base / c for s, c in cycles.items()}
 
 
-def main() -> None:
-    series = run()
-    grid = list(SLICE_GRID)
+def render(result: ScalabilityResult) -> None:
+    grid = list(result.slice_grid)
     print("Figure 12: normalised performance vs Slice count "
           f"(baseline: 1 Slice, {BASELINE_CACHE_KB:.0f} KB)")
     print("benchmark   " + " ".join(f"s={s}" for s in grid))
-    for bench, values in series.items():
+    for bench, values in result.series.items():
         print(f"{bench:11} " + " ".join(f"{v:4.2f}" for v in values))
+
+
+def main() -> None:
+    render(run())
 
 
 if __name__ == "__main__":

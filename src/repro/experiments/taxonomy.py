@@ -7,7 +7,13 @@ present in some members of a family) are ``None``.
 
 from __future__ import annotations
 
+import time
+from dataclasses import dataclass
 from typing import Dict, List, Optional
+
+from repro.experiments.base import ExperimentResult
+
+NAME = "taxonomy"
 
 #: Feature rows of Table 8.
 FEATURES = (
@@ -71,8 +77,33 @@ TAXONOMY: Dict[str, Dict[str, Optional[bool]]] = {
 }
 
 
-def run() -> Dict[str, Dict[str, Optional[bool]]]:
-    return TAXONOMY
+@dataclass(frozen=True)
+class TaxonomyResult(ExperimentResult):
+    """Table 8 plus the Sharing Architecture's unique advantages."""
+
+    table: Dict[str, Dict[str, Optional[bool]]]
+    advantages: List[str]
+
+
+def run(engine=None) -> TaxonomyResult:
+    """Table 8 as a frozen result.
+
+    ``engine`` is accepted for runner uniformity; the taxonomy is pure
+    data and sweeps nothing.
+    """
+    start = time.perf_counter()
+    rows = tuple(
+        {"architecture": arch, **{f: cells[f] for f in FEATURES}}
+        for arch, cells in TAXONOMY.items()
+    )
+    return TaxonomyResult(
+        name=NAME,
+        params={"features": list(FEATURES)},
+        rows=rows,
+        elapsed=time.perf_counter() - start,
+        table=TAXONOMY,
+        advantages=unique_advantages(),
+    )
 
 
 def unique_advantages(architecture: str = "sharing") -> List[str]:
@@ -90,17 +121,22 @@ def unique_advantages(architecture: str = "sharing") -> List[str]:
     ]
 
 
-def main() -> None:
+def render(result: TaxonomyResult) -> None:
     def cell(v: Optional[bool]) -> str:
         return "Y/N" if v is None else ("Y" if v else "N")
 
+    table = result.table
     print("Table 8: taxonomy of differences with related work")
-    print(f"{'feature':16}" + "".join(f"{a[:9]:>10}" for a in TAXONOMY))
+    print(f"{'feature':16}" + "".join(f"{a[:9]:>10}" for a in table))
     for feature in FEATURES:
-        row = "".join(f"{cell(TAXONOMY[a][feature]):>10}" for a in TAXONOMY)
+        row = "".join(f"{cell(table[a][feature]):>10}" for a in table)
         print(f"{feature:16}" + row)
     print("\nThe Sharing Architecture is the only column answering Y to "
           "every feature.")
+
+
+def main() -> None:
+    render(run())
 
 
 if __name__ == "__main__":

@@ -24,7 +24,7 @@ peaks and declines, Tables 4/6/7 optima drift).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from functools import lru_cache
 from typing import Dict, List, Sequence, Tuple, Union
 
@@ -66,6 +66,22 @@ L1_EXPOSED = 0.35
 #: L1 hit latency (paper Table 3).
 L1_LATENCY = 3.0
 
+#: The module-level calibration surface by name.  The engine's on-disk
+#: result cache folds these values into every key, so editing a constant
+#: invalidates stale cached sweeps automatically.
+CALIBRATION_CONSTANTS: Tuple[str, ...] = (
+    "ALU_PATH_FRACTION",
+    "COMM_TOLERANCE",
+    "BRANCH_PENALTY_BASE",
+    "BRANCH_PENALTY_MULTISLICE",
+    "MLP_PER_SLICE",
+    "L2_LAT_BASE",
+    "L2_LAT_PER_DISTANCE",
+    "MEMORY_DELAY",
+    "L1_EXPOSED",
+    "L1_LATENCY",
+)
+
 ProfileLike = Union[str, BenchmarkProfile]
 
 
@@ -73,6 +89,24 @@ def _resolve(profile: ProfileLike) -> BenchmarkProfile:
     if isinstance(profile, BenchmarkProfile):
         return profile
     return get_profile(profile)
+
+
+def calibration_constants() -> Dict[str, float]:
+    """Current values of the calibration surface, by constant name."""
+    import sys
+
+    module = sys.modules[__name__]
+    return {name: getattr(module, name) for name in CALIBRATION_CONSTANTS}
+
+
+def profile_key(profile: ProfileLike) -> Tuple[Tuple[str, object], ...]:
+    """Canonical hashable identity of a profile: its fields, sorted.
+
+    Both the in-process memo and the engine's on-disk cache key off this,
+    so ``performance("gcc", ...)`` and
+    ``performance(get_profile("gcc"), ...)`` share entries.
+    """
+    return tuple(sorted(asdict(_resolve(profile)).items()))
 
 
 def l2_mean_latency(cache_kb: float) -> float:
@@ -231,12 +265,26 @@ def _default_model() -> AnalyticModel:
     return AnalyticModel()
 
 
-@lru_cache(maxsize=4096)
-def performance(benchmark: str, cache_kb: float, slices: int) -> float:
-    """Memoised ``P(c, s)`` through the default model."""
-    return _default_model().performance(benchmark, cache_kb, slices)
+@lru_cache(maxsize=65536)
+def _performance_memo(profile: BenchmarkProfile, cache_kb: float,
+                      slices: int) -> float:
+    # BenchmarkProfile is a frozen dataclass, so it hashes and compares
+    # by field values: a name resolved through get_profile() and an
+    # equal ad-hoc profile land on the same memo entry.
+    return _default_model().performance(profile, cache_kb, slices)
 
 
-def performance_grid(benchmark: str) -> Dict[Tuple[float, int], float]:
+def performance(benchmark: ProfileLike, cache_kb: float,
+                slices: int) -> float:
+    """Memoised ``P(c, s)`` through the default model.
+
+    Accepts a benchmark name or a :class:`BenchmarkProfile`; both paths
+    are memoised (and engine-cache-keyed) identically via the profile's
+    field values (:func:`profile_key`).
+    """
+    return _performance_memo(_resolve(benchmark), cache_kb, slices)
+
+
+def performance_grid(benchmark: ProfileLike) -> Dict[Tuple[float, int], float]:
     """Memoised full sweep for one benchmark."""
     return _default_model().grid(benchmark)

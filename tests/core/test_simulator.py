@@ -113,6 +113,32 @@ class TestRobustness:
         with pytest.raises(SimulationTimeout):
             SharingSimulator(_alu_stream(1000), cfg).run()
 
+    def test_timeout_keyword(self):
+        with pytest.raises(SimulationTimeout):
+            SharingSimulator(_alu_stream(1000), timeout=3).run()
+        with pytest.raises(SimulationTimeout):
+            simulate(_alu_stream(1000), timeout=3)
+
+    def test_simulator_vcore_keywords_match_simulate(self):
+        """SharingSimulator takes the same num_slices/l2_cache_kb
+        keywords as simulate() and builds the same configuration."""
+        trace = generate_trace("gcc", 500, seed=3)
+        via_wrapper = simulate(trace, num_slices=3, l2_cache_kb=256)
+        sim = SharingSimulator(trace, num_slices=3, l2_cache_kb=256)
+        assert sim.config.vcore.num_slices == 3
+        assert sim.config.vcore.l2_cache_kb == 256
+        assert sim.run().cycles == via_wrapper.cycles
+
+    def test_partial_vcore_override_keeps_config(self):
+        import dataclasses
+        from repro.core.config import VCoreConfig
+        base = dataclasses.replace(
+            SimConfig(), vcore=VCoreConfig(num_slices=4, l2_cache_kb=512)
+        )
+        sim = SharingSimulator(_alu_stream(10), config=base, num_slices=2)
+        assert sim.config.vcore.num_slices == 2
+        assert sim.config.vcore.l2_cache_kb == 512
+
     def test_every_benchmark_simulates(self):
         from repro.trace import all_benchmarks
         for bench in all_benchmarks()[:5]:

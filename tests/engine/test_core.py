@@ -1,0 +1,153 @@
+"""Tests for the sweep engine: expansion, fan-out, grids, metrics."""
+
+import pytest
+
+from repro.economics.market import MARKET2, STANDARD_MARKETS
+from repro.economics.utility import STANDARD_UTILITIES, UTILITY2
+from repro.engine import (
+    GridModel,
+    ResultCache,
+    RunMetrics,
+    SweepEngine,
+    SweepSpec,
+    evaluate_unit,
+)
+from repro.perfmodel.model import (
+    AnalyticModel,
+    CACHE_GRID_KB,
+    SLICE_GRID,
+)
+from repro.trace.profiles import get_profile
+
+
+@pytest.fixture
+def engine(tmp_path):
+    return SweepEngine(jobs=1, cache=ResultCache(root=tmp_path / "cache"))
+
+
+class TestExpansion:
+    def test_performance_units(self):
+        spec = SweepSpec(benchmarks=("gcc", "bzip"))
+        units = spec.expand()
+        assert len(units) == 2
+        assert {u.kind for u in units} == {"performance"}
+        assert [u.benchmark for u in units] == ["gcc", "bzip"]
+        assert units[0].points == len(CACHE_GRID_KB) * len(SLICE_GRID)
+
+    def test_utility_units(self):
+        spec = SweepSpec(benchmarks=("gcc",),
+                         utilities=tuple(STANDARD_UTILITIES),
+                         markets=tuple(STANDARD_MARKETS),
+                         budget=24.0)
+        units = spec.expand()
+        assert len(units) == 9
+        assert {u.kind for u in units} == {"utility"}
+
+    def test_profile_objects_accepted(self):
+        spec = SweepSpec(benchmarks=(get_profile("gcc"),))
+        (unit,) = spec.expand()
+        assert unit.benchmark == "gcc"
+
+    def test_unknown_kind_rejected(self):
+        spec = SweepSpec(benchmarks=("gcc",))
+        (unit,) = spec.expand()
+        from dataclasses import replace
+        with pytest.raises(ValueError):
+            evaluate_unit(replace(unit, kind="nonsense"))
+
+
+class TestEvaluation:
+    def test_performance_matches_model(self, engine):
+        model = AnalyticModel()
+        sweep = engine.performance_map(["gcc"], (0.0, 512.0), (1, 4))
+        grid = sweep.grid("gcc")
+        for (c, s), value in grid.items():
+            assert value == model.performance("gcc", c, s)
+
+    def test_utility_matches_serial_path(self, engine):
+        sweep = engine.utility_map(["gcc"], [UTILITY2], [MARKET2],
+                                   budget=24.0,
+                                   cache_grid=(0.0, 256.0),
+                                   slice_grid=(1, 2))
+        model = AnalyticModel()
+        grid = sweep.grid("gcc", UTILITY2, MARKET2)
+        for (c, s), value in grid.items():
+            perf = model.performance("gcc", c, s)
+            vcores = MARKET2.vcores_affordable(24.0, c, s)
+            assert value == UTILITY2.value(perf, vcores)
+
+    def test_parallel_equals_serial(self, tmp_path):
+        spec = SweepSpec(benchmarks=("gcc", "bzip", "hmmer", "omnetpp"))
+        serial = SweepEngine(
+            jobs=1, cache=ResultCache(root=tmp_path / "a")
+        ).run(spec)
+        fanned = SweepEngine(
+            jobs=2, cache=ResultCache(root=tmp_path / "b"),
+            parallel_threshold=1,
+        ).run(spec)
+        assert fanned.parallel
+        assert not serial.parallel
+        assert fanned.values == serial.values
+
+    def test_small_sweeps_stay_serial(self, tmp_path):
+        engine = SweepEngine(jobs=8,
+                             cache=ResultCache(root=tmp_path / "c"))
+        sweep = engine.run(SweepSpec(benchmarks=("gcc",),
+                                     cache_grid=(0.0,), slice_grid=(1,)))
+        assert not sweep.parallel
+        assert sweep.workers == 1
+
+
+class TestGridModel:
+    def test_drop_in_equality(self, engine):
+        plain = AnalyticModel()
+        grid = engine.grid_model(profiles=["gcc", "bzip"])
+        assert isinstance(grid, GridModel)
+        for c in CACHE_GRID_KB:
+            for s in SLICE_GRID:
+                assert grid.performance("gcc", c, s) == \
+                    plain.performance("gcc", c, s)
+
+    def test_off_grid_falls_back(self, engine):
+        grid = engine.grid_model(cache_grid=(0.0, 128.0),
+                                 slice_grid=(1, 2),
+                                 profiles=["gcc"])
+        plain = AnalyticModel()
+        assert grid.performance("gcc", 96.0, 3) == \
+            plain.performance("gcc", 96.0, 3)
+
+    def test_unprimed_benchmark_autoprimes(self, engine):
+        grid = engine.grid_model(cache_grid=(0.0, 128.0),
+                                 slice_grid=(1, 2))
+        value = grid.performance("hmmer", 128.0, 2)
+        assert value == AnalyticModel().performance("hmmer", 128.0, 2)
+
+    def test_priming_batches_one_sweep(self, engine):
+        engine.grid_model(profiles=["gcc", "bzip", "hmmer"])
+        assert len(engine.metrics.records) == 1
+        assert engine.metrics.records[0].units == 3
+
+
+class TestMetrics:
+    def test_sweep_accounting(self, engine):
+        engine.performance_map(["gcc", "bzip"], (0.0, 64.0), (1, 2))
+        engine.performance_map(["gcc", "bzip"], (0.0, 64.0), (1, 2))
+        totals = engine.metrics.totals()
+        assert totals["sweeps"] == 2
+        assert totals["units"] == 4
+        assert totals["points"] == 16
+        assert totals["cache_hits"] == 2
+        assert totals["cache_misses"] == 2
+        assert totals["evaluated_points"] == 8
+        assert totals["cache_hit_rate"] == 0.5
+
+    def test_run_metrics_attribution(self, engine):
+        run_metrics = RunMetrics(engine=engine)
+        with run_metrics.measure("demo"):
+            engine.performance_map(["gcc"], (0.0,), (1,))
+        exported = run_metrics.to_dict()
+        (entry,) = exported["experiments"]
+        assert entry["name"] == "demo"
+        assert entry["engine"]["sweeps"] == 1
+        assert exported["engine"]["jobs"] == engine.jobs
+        assert run_metrics.to_json()

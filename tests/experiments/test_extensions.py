@@ -21,13 +21,13 @@ class TestParsecExperiment:
 
 class TestEnergyExperiment:
     def test_table_shape(self):
-        table = energy_delay.run(benchmarks=["gcc", "hmmer", "omnetpp"])
+        table = energy_delay.run(benchmarks=["gcc", "hmmer", "omnetpp"]).table
         assert set(table) == {1, 2, 3}
         for row in table.values():
             assert set(row) == {"gcc", "hmmer", "omnetpp"}
 
     def test_higher_exponent_bigger_cores(self):
-        table = energy_delay.run(benchmarks=["gcc"])
+        table = energy_delay.run(benchmarks=["gcc"]).table
         ed1 = table[1]["gcc"]
         ed3 = table[3]["gcc"]
         assert ed3[1] >= ed1[1]

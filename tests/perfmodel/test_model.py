@@ -31,6 +31,29 @@ class TestL2LatencyModel:
         """4 banks at distance 1: Table 3 gives 1*2+4 = 6 cycles."""
         assert l2_mean_latency(256) == 6.0
 
+    def test_single_bank(self):
+        """One 64 KB bank sits at distance 1: 1*2+4 = 6 cycles."""
+        assert l2_mean_latency(64) == 6.0
+
+    def test_full_rings_boundary(self):
+        """64 banks fill rings 1-5 (60 banks) plus 4 at ring 6."""
+        total = 4 * 1 + 8 * 2 + 12 * 3 + 16 * 4 + 20 * 5 + 4 * 6
+        assert l2_mean_latency(64 * 64) == pytest.approx(
+            4.0 + 2.0 * total / 64
+        )
+
+    def test_ring_spill_boundary(self):
+        """65 banks spill one more bank onto ring 6."""
+        total = 4 * 1 + 8 * 2 + 12 * 3 + 16 * 4 + 20 * 5 + 5 * 6
+        assert l2_mean_latency(65 * 64) == pytest.approx(
+            4.0 + 2.0 * total / 65
+        )
+
+    def test_sub_bank_capacity_rounds(self):
+        """Capacities round to whole 64 KB banks, minimum one."""
+        assert l2_mean_latency(1) == l2_mean_latency(64)
+        assert l2_mean_latency(96) == l2_mean_latency(128)
+
 
 class TestPerformanceShapes:
     def test_positive_everywhere(self, model):
