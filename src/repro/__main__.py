@@ -53,6 +53,14 @@ def _cmd_experiments(args) -> int:
         argv.append("--no-cache")
     if args.cache_dir:
         argv += ["--cache-dir", args.cache_dir]
+    if args.obs:
+        argv.append("--obs")
+    if args.trace:
+        argv += ["--trace", args.trace]
+    if args.metrics_out:
+        argv += ["--metrics-out", args.metrics_out]
+    if args.timeout is not None:
+        argv += ["--timeout", str(args.timeout)]
     return runner.main(argv)
 
 
@@ -69,14 +77,40 @@ def _cmd_experiment(args) -> int:
 
 
 def _cmd_simulate(args) -> int:
+    import json
+
+    from repro.obs import Observability
+
+    obs = None
+    if args.obs or args.trace or args.metrics_out:
+        obs = Observability(trace=args.trace is not None)
     warmup, trace = make_workload(args.benchmark, args.length,
                                   seed=args.seed)
     result = simulate(trace, num_slices=args.slices,
-                      l2_cache_kb=args.cache_kb, warmup_addresses=warmup)
+                      l2_cache_kb=args.cache_kb, warmup_addresses=warmup,
+                      obs=obs)
     print(f"{args.benchmark} on ({args.slices} Slices, "
           f"{args.cache_kb:.0f} KB L2):")
     for key, value in result.stats.summary().items():
         print(f"  {key:16} {value}")
+    if args.metrics_out:
+        payload = {
+            "benchmark": args.benchmark,
+            "slices": args.slices,
+            "cache_kb": args.cache_kb,
+            "stats": result.stats.summary(),
+            "obs": obs.snapshot(),
+        }
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, default=str)
+        print(f"wrote {args.metrics_out}")
+    if args.trace:
+        obs.export_trace(
+            args.trace,
+            process_name=f"ssim:{args.benchmark}"
+                         f".s{args.slices}.c{args.cache_kb:g}",
+        )
+        print(f"wrote {args.trace}")
     return 0
 
 
@@ -122,6 +156,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="disable the persistent result cache")
     exp.add_argument("--cache-dir", metavar="DIR", default=None,
                      help="result-cache directory")
+    exp.add_argument("--obs", action="store_true",
+                     help="enable the instrument registry")
+    exp.add_argument("--trace", metavar="PATH", default=None,
+                     help="write Chrome trace_event JSON (implies --obs)")
+    exp.add_argument("--metrics-out", metavar="PATH", default=None,
+                     help="write run metrics as JSON")
+    exp.add_argument("--timeout", type=float, default=None, metavar="S",
+                     help="per-sweep wall-clock bound (seconds)")
     exp.set_defaults(func=_cmd_experiments)
 
     one = sub.add_parser("experiment", help="run one artefact")
@@ -135,6 +177,13 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--cache-kb", type=float, default=256.0)
     sim.add_argument("--length", type=int, default=3000)
     sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--obs", action="store_true",
+                     help="attach the instrument registry")
+    sim.add_argument("--trace", metavar="PATH", default=None,
+                     help="write Chrome trace_event JSON of the run "
+                          "(open in ui.perfetto.dev)")
+    sim.add_argument("--metrics-out", metavar="PATH", default=None,
+                     help="write stats + instrument snapshot as JSON")
     sim.set_defaults(func=_cmd_simulate)
 
     opt = sub.add_parser("optimize", help="one customer's best purchase")

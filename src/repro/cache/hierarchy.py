@@ -68,6 +68,18 @@ class CacheHierarchy:
         self.loads = 0
         self.stores = 0
 
+    def attach_obs(self, scope) -> None:
+        """Attach the whole data path: L1D, MSHRs, store-buffer gauges."""
+        scope.gauge("loads", lambda: self.loads)
+        scope.gauge("stores", lambda: self.stores)
+        self.l1d.attach_obs(scope.scope("l1d"))
+        self.mshr.attach_obs(scope.scope("mshr"))
+        sb = self.store_buffer
+        sb_scope = scope.scope("store_buffer")
+        sb_scope.gauge("inserted", lambda: sb.total_inserted)
+        sb_scope.gauge("full_stalls", lambda: sb.full_stalls)
+        sb_scope.gauge("occupancy", lambda: len(sb))
+
     def access(self, address: int, is_write: bool, now: int) -> MemoryAccessOutcome:
         """Perform a timed access starting at cycle ``now``."""
         if is_write:

@@ -35,3 +35,8 @@ class L1Cache(SetAssociativeCache):
         """Access returning ``(AccessResult, latency_if_hit)``."""
         result = self.access(address, is_write=is_write)
         return result, self.hit_latency
+
+    def attach_obs(self, scope) -> None:
+        """Attach counters plus the L1's timing configuration."""
+        super().attach_obs(scope)
+        scope.info("hit_latency", self.hit_latency)

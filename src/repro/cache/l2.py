@@ -66,6 +66,12 @@ class L2Bank(SetAssociativeCache):
     def hit_latency(self) -> int:
         return l2_hit_latency(self.distance)
 
+    def attach_obs(self, scope) -> None:
+        """Attach counters plus this bank's placement/latency."""
+        super().attach_obs(scope)
+        scope.info("distance", self.distance)
+        scope.info("hit_latency", self.hit_latency)
+
 
 class BankedL2:
     """A VCore's L2: zero or more banks with low-order line interleaving."""
@@ -125,6 +131,16 @@ class BankedL2:
     def flush(self) -> int:
         """Flush all banks (reconfiguration); returns dirty lines written."""
         return sum(bank.flush() for bank in self.banks)
+
+    def attach_obs(self, scope) -> None:
+        """Attach aggregate gauges plus every bank under ``bank<i>``."""
+        scope.gauge("hits", lambda: self.hits)
+        scope.gauge("misses", lambda: self.misses)
+        scope.gauge("miss_rate", lambda: self.miss_rate)
+        scope.info("size_kb", self.size_kb)
+        scope.info("num_banks", self.num_banks)
+        for bank in self.banks:
+            bank.attach_obs(scope.scope(f"bank{bank.bank_id}"))
 
     def mean_hit_latency(self) -> float:
         """Capacity-weighted average hit latency across banks."""

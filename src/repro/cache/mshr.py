@@ -70,6 +70,14 @@ class MSHRFile:
         self.primary_misses += 1
         return entry
 
+    def attach_obs(self, scope) -> None:
+        """Register gauges over the MSHR counters (no hot-path cost)."""
+        scope.gauge("primary_misses", lambda: self.primary_misses)
+        scope.gauge("secondary_merges", lambda: self.secondary_merges)
+        scope.gauge("full_stalls", lambda: self.full_stalls)
+        scope.gauge("outstanding", lambda: len(self._entries))
+        scope.info("capacity", self.capacity)
+
     def earliest_fill(self) -> Optional[int]:
         """Cycle at which the oldest outstanding miss fills, if any."""
         if not self._entries:

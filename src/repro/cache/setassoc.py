@@ -12,6 +12,8 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs.registry import NULL_SCOPE
+
 
 def _is_power_of_two(n: int) -> bool:
     return n > 0 and (n & (n - 1)) == 0
@@ -63,6 +65,7 @@ class SetAssociativeCache:
         self.hits = 0
         self.misses = 0
         self.writebacks = 0
+        self._obs = NULL_SCOPE
 
     def _set_index(self, line: int) -> int:
         return line % self.num_sets
@@ -140,6 +143,27 @@ class SetAssociativeCache:
         self.writebacks += dirty
         self._sets.clear()
         return dirty
+
+    def attach_obs(self, scope) -> None:
+        """Attach this cache to an observability scope.
+
+        Registers gauges over the existing counters, so the hot access
+        path is untouched - statistics are sampled only when the
+        registry snapshots (see the overhead contract in
+        :mod:`repro.obs.registry`).
+        """
+        self._obs = scope
+        scope.gauge("hits", lambda: self.hits)
+        scope.gauge("misses", lambda: self.misses)
+        scope.gauge("writebacks", lambda: self.writebacks)
+        scope.gauge("miss_rate", lambda: self.miss_rate)
+        scope.gauge("occupancy", self.occupancy)
+        scope.info("geometry", {
+            "size_bytes": self.size_bytes,
+            "line_size": self.line_size,
+            "assoc": self.assoc,
+            "sets": self.num_sets,
+        })
 
     def reset_counters(self) -> None:
         """Zero the statistics counters (content is kept).

@@ -64,6 +64,15 @@ class LSQBank:
         self.inserted += 1
         return entry
 
+    def attach_obs(self, scope) -> None:
+        """Register gauges over this bank's counters and occupancy."""
+        scope.gauge("inserted", lambda: self.inserted)
+        scope.gauge("full_stalls", lambda: self.full_stalls)
+        scope.gauge("violations", lambda: self.violations)
+        scope.gauge("forwards", lambda: self.forwards)
+        scope.gauge("occupancy", self.occupancy)
+        scope.info("capacity", self.capacity)
+
     def find_forwarding_store(self, load_seq: int, line: int,
                               before_cycle: Optional[int] = None
                               ) -> Optional[LSQEntry]:
@@ -140,6 +149,14 @@ class DistributedLSQ:
 
     def bank_for(self, address: int) -> LSQBank:
         return self.banks[self.home_slice(address)]
+
+    def attach_obs(self, scope) -> None:
+        """Attach aggregate gauges plus every bank under ``bank<i>``."""
+        scope.gauge("violations", lambda: self.total_violations)
+        scope.gauge("forwards", lambda: self.total_forwards)
+        scope.gauge("full_stalls", lambda: self.total_full_stalls)
+        for sid, bank in enumerate(self.banks):
+            bank.attach_obs(scope.scope(f"bank{sid}"))
 
     @property
     def total_violations(self) -> int:

@@ -57,6 +57,14 @@ class GlobalRenameState:
     def free_count(self) -> int:
         return len(self._free)
 
+    def attach_obs(self, scope) -> None:
+        """Register gauges over rename allocation/stall counters."""
+        scope.gauge("allocations", lambda: self.allocations)
+        scope.gauge("free_list_stalls", lambda: self.free_list_stalls)
+        scope.gauge("free_count", lambda: len(self._free))
+        scope.gauge("live_mappings", lambda: len(self._rat))
+        scope.info("num_global", self.num_global)
+
     def lookup(self, arch_reg: int) -> Optional[GlobalMapping]:
         """Current mapping for an architectural source register."""
         return self._rat.get(arch_reg)
@@ -126,6 +134,13 @@ class LocalRegisterFile:
     @property
     def free_count(self) -> int:
         return self.capacity - len(self._resident)
+
+    def attach_obs(self, scope) -> None:
+        """Register gauges over LRF pressure counters."""
+        scope.gauge("full_stalls", lambda: self.full_stalls)
+        scope.gauge("occupancy", lambda: len(self._resident))
+        scope.gauge("cached_remote", lambda: len(self._cached_remote))
+        scope.info("capacity", self.capacity)
 
     def holds(self, global_reg: int) -> bool:
         return global_reg in self._resident

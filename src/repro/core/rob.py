@@ -56,6 +56,14 @@ class DistributedROB:
         self.dispatched += 1
         return True
 
+    def attach_obs(self, scope) -> None:
+        """Register gauges over the ROB counters and occupancy."""
+        scope.gauge("dispatched", lambda: self.dispatched)
+        scope.gauge("full_stalls", lambda: self.full_stalls)
+        scope.gauge("occupancy", lambda: len(self._window))
+        scope.info("per_slice_capacity", self.per_slice_capacity)
+        scope.info("precommit_sync", self.precommit_sync)
+
     def head(self) -> Optional[DynInst]:
         return self._window[0] if self._window else None
 

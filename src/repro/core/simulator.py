@@ -42,6 +42,7 @@ from repro.core.rename import RenameStallError, rename_pipeline_depth
 from repro.core.stats import SimStats
 from repro.core.vcore import VCore
 from repro.isa import Instruction, OpClass
+from repro.obs import OBS_OFF, Observability
 from repro.trace.records import Trace
 
 
@@ -86,7 +87,8 @@ class SharingSimulator:
                  l2_cache_kb: Optional[float] = None,
                  warmup_trace: Optional[Trace] = None,
                  warmup_addresses: Optional[Sequence[int]] = None,
-                 timeout: Optional[int] = None):
+                 timeout: Optional[int] = None,
+                 obs: Optional[Observability] = None):
         self.trace = trace
         cfg = config or SimConfig()
         if num_slices is not None or l2_cache_kb is not None:
@@ -105,6 +107,17 @@ class SharingSimulator:
             self._warm_caches(warmup_trace)
         if warmup_addresses is not None:
             self._warm_data_caches(warmup_addresses)
+
+        # Observability: attach after warmup so gauges read timed-region
+        # counters.  With OBS_OFF everything binds to shared null objects
+        # and the cycle loop's emit calls are no-ops (see repro.obs).
+        self.obs = obs if obs is not None else OBS_OFF
+        self._tracer = self.obs.tracer
+        if self.obs.enabled:
+            self.vcore.attach_obs(self.obs.registry.scope("sim"),
+                                  tracer=self._tracer)
+            for sid in range(self.vcore.num_slices):
+                self._tracer.set_thread_name(sid, f"slice{sid}")
 
         self._rename_depth = rename_pipeline_depth(
             self.vcore.num_slices,
@@ -256,6 +269,8 @@ class SharingSimulator:
         if mispredicted:
             dyn.mispredicted = True
             self.stats.branch_mispredicts += 1
+            self._tracer.instant("branch_mispredict", ts=t, cat="core",
+                                 tid=dyn.slice_id, args={"pc": inst.pc})
             if self._blocking_branch is dyn:
                 self._blocking_branch = None
                 self._fetch_stall_until = max(
@@ -285,6 +300,13 @@ class SharingSimulator:
         self.stats.operand_requests += 1
         self.stats.remote_operand_hops += self.vcore.mesh.distance(
             producer.slice_id, consumer.slice_id
+        )
+        self._tracer.complete(
+            "son.operand", ts=consumer.dispatch_cycle,
+            dur=max(1, arrival - consumer.dispatch_cycle), cat="network",
+            tid=producer.slice_id,
+            args={"src": producer.slice_id, "dst": consumer.slice_id,
+                  "reg": reg},
         )
         if reg is not None:
             ctx.operand_arrival[reg] = arrival
@@ -337,6 +359,11 @@ class SharingSimulator:
         self.vcore.rob.pop_head()
         dyn.commit_cycle = now
         self.stats.committed += 1
+        self._tracer.complete(
+            dyn.op_class.name.lower(), ts=dyn.fetch_cycle,
+            dur=max(1, now - dyn.fetch_cycle), cat="core",
+            tid=dyn.slice_id, args={"seq": dyn.seq, "pc": dyn.inst.pc},
+        )
         inst = dyn.inst
         if inst.is_load and inst.mem is not None:
             self.vcore.lsq.bank_for(inst.mem.address).remove(dyn.seq)
@@ -420,12 +447,22 @@ class SharingSimulator:
             dyn.forwarded_from = forwarding.seq
             self.stats.store_forwards += 1
             dyn.complete_cycle = resolved + 1
+            self._tracer.complete(
+                "mem.lsq_forward", ts=now,
+                dur=max(1, dyn.complete_cycle - now), cat="cache",
+                tid=home, args={"line": line, "seq": dyn.seq},
+            )
         else:
             home_ctx = self.vcore.slices[home]
             outcome = home_ctx.hierarchy.access(address, is_write=False,
                                                 now=resolved)
             return_lat = self.vcore.sort_latency(home, dyn.slice_id)
             dyn.complete_cycle = outcome.complete_cycle + return_lat
+            self._tracer.complete(
+                f"mem.{outcome.latency_class}", ts=now,
+                dur=max(1, dyn.complete_cycle - now), cat="cache",
+                tid=home, args={"line": line, "seq": dyn.seq},
+            )
         self._schedule_completion(dyn)
 
     def _schedule_completion(self, dyn: DynInst) -> None:
@@ -603,6 +640,10 @@ class SharingSimulator:
         if not l2_result.hit:
             delay += self.config.cache_config.memory_delay
         self._fetch_stall_until = now + delay
+        self._tracer.complete(
+            "l1i_miss", ts=now, dur=delay, cat="cache", tid=ctx.slice_id,
+            args={"pc": inst.pc, "l2_hit": l2_result.hit},
+        )
         return False
 
     # ------------------------------------------------------------------
@@ -634,6 +675,10 @@ class SharingSimulator:
             s for s in self._unresolved_stores if s < victim_seq
         }
         self.stats.squashed += len(squashed)
+        self._tracer.instant(
+            "squash_replay", ts=now, cat="core",
+            args={"victim_seq": victim_seq, "squashed": len(squashed)},
+        )
         if (self._blocking_branch is not None
                 and self._blocking_branch.seq >= victim_seq):
             self._blocking_branch = None
@@ -660,15 +705,19 @@ def simulate(trace: Trace, num_slices: int = 1, l2_cache_kb: float = 128.0,
              config: Optional[SimConfig] = None,
              warmup_trace: Optional[Trace] = None,
              warmup_addresses: Optional[Sequence[int]] = None,
-             timeout: Optional[int] = None) -> SimResult:
+             timeout: Optional[int] = None,
+             obs: Optional[Observability] = None) -> SimResult:
     """Convenience wrapper: simulate ``trace`` on one VCore configuration.
 
     Takes the same keywords as :class:`SharingSimulator` (``num_slices``,
     ``l2_cache_kb``, ``warmup_trace``, ``warmup_addresses``, ``timeout``);
-    ``timeout`` caps the simulation at that many cycles.
+    ``timeout`` caps the simulation at that many cycles.  ``obs`` attaches
+    an :class:`~repro.obs.Observability` instance: its registry gets the
+    per-component counters, and (when tracing) its tracer records the
+    pipeline/cache/network event stream for Chrome trace export.
     """
     return SharingSimulator(trace, config=config, num_slices=num_slices,
                             l2_cache_kb=l2_cache_kb,
                             warmup_trace=warmup_trace,
                             warmup_addresses=warmup_addresses,
-                            timeout=timeout).run()
+                            timeout=timeout, obs=obs).run()

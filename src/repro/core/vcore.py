@@ -132,6 +132,37 @@ class VCore:
         )
 
     # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def attach_obs(self, scope, tracer=None) -> None:
+        """Attach every structural component to an observability scope.
+
+        Layout (dotted paths under ``scope``): ``core.rob``,
+        ``core.rename``, ``core.lsq.bank<i>``, ``core.slice<i>.{l1i,
+        l1d, mshr, store_buffer, lrf}``, ``cache.l2[.bank<j>]`` and
+        ``network.{son, ls_sort, rename}``.  ``tracer``, when given, is
+        handed to the switched networks so message transit emits trace
+        events.
+        """
+        from repro.obs.tracer import NULL_TRACER
+        tracer = tracer if tracer is not None else NULL_TRACER
+
+        core = scope.scope("core")
+        self.rob.attach_obs(core.scope("rob"))
+        self.global_rename.attach_obs(core.scope("rename"))
+        self.lsq.attach_obs(core.scope("lsq"))
+        for ctx in self.slices:
+            s = core.scope(f"slice{ctx.slice_id}")
+            ctx.l1i.attach_obs(s.scope("l1i"))
+            ctx.hierarchy.attach_obs(s)
+            ctx.lrf.attach_obs(s.scope("lrf"))
+        self.l2.attach_obs(scope.scope("cache.l2"))
+        for net in (self.operand_network, self.ls_network,
+                    self.rename_network):
+            net.attach_obs(scope.scope(f"network.{net.name}"), tracer=tracer)
+
+    # ------------------------------------------------------------------
     # composition queries
     # ------------------------------------------------------------------
 

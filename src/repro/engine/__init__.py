@@ -23,11 +23,18 @@ from repro.engine.core import (
     SweepEngine,
     SweepResult,
     SweepSpec,
+    SweepTimeoutError,
     WorkUnit,
+    WorkUnitError,
     evaluate_unit,
     model_calibration,
 )
-from repro.engine.metrics import EngineMetrics, RunMetrics, SweepRecord
+from repro.engine.metrics import (
+    EngineMetrics,
+    RunMetrics,
+    SweepRecord,
+    UnitStat,
+)
 
 __all__ = [
     "CACHE_VERSION",
@@ -41,7 +48,10 @@ __all__ = [
     "SweepRecord",
     "SweepResult",
     "SweepSpec",
+    "SweepTimeoutError",
+    "UnitStat",
     "WorkUnit",
+    "WorkUnitError",
     "evaluate_unit",
     "model_calibration",
 ]

@@ -28,14 +28,17 @@ from __future__ import annotations
 import math
 import os
 import time
+import traceback as _traceback
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
 from dataclasses import dataclass
 from typing import (
     Any, Dict, Iterable, List, Optional, Sequence, Tuple,
 )
 
 from repro.engine.cache import ResultCache
-from repro.engine.metrics import EngineMetrics, SweepRecord
+from repro.engine.metrics import EngineMetrics, SweepRecord, UnitStat
+from repro.obs import OBS_OFF, Observability, now_us
 from repro.perfmodel.model import (
     AnalyticModel,
     CACHE_GRID_KB,
@@ -51,6 +54,36 @@ from repro.trace.profiles import BenchmarkProfile
 DEFAULT_PARALLEL_THRESHOLD = 1024
 
 KindKey = Tuple[Any, ...]
+
+
+class WorkUnitError(RuntimeError):
+    """A work unit failed inside a pool worker.
+
+    Carries the failing unit and the worker's formatted traceback as
+    attributes; ``str(exc)`` stays a one-line human-readable summary
+    (never a pickled traceback blob).  Failed units are never written to
+    the on-disk result cache.
+    """
+
+    def __init__(self, message: str, unit: Optional["WorkUnit"] = None,
+                 worker_pid: int = 0, worker_traceback: str = ""):
+        super().__init__(message)
+        self.unit = unit
+        self.worker_pid = worker_pid
+        self.worker_traceback = worker_traceback
+
+
+class SweepTimeoutError(RuntimeError):
+    """A parallel sweep did not finish inside ``timeout_s``.
+
+    The engine cancels queued units and terminates the stuck worker
+    processes before raising, so a hung unit cannot wedge the caller.
+    """
+
+    def __init__(self, message: str,
+                 pending_units: Tuple["WorkUnit", ...] = ()):
+        super().__init__(message)
+        self.pending_units = pending_units
 
 
 def _norm_utility(utility: Any) -> Tuple[str, float]:
@@ -209,6 +242,39 @@ def evaluate_unit(unit: WorkUnit) -> List[List[float]]:
     raise ValueError(f"unknown work-unit kind {unit.kind!r}")
 
 
+def _evaluate_unit_tracked(payload: Tuple[WorkUnit, float]) -> Dict[str, Any]:
+    """Worker-side wrapper around :func:`evaluate_unit`.
+
+    Runs in pool workers (and in-process for serial sweeps).  Measures
+    queue wait (submit-to-start on the shared ``CLOCK_MONOTONIC``, so
+    worker timestamps line up with the parent's) and evaluation time,
+    and converts any exception into a structured failure record - the
+    parent re-raises it as a clear :class:`WorkUnitError` instead of
+    surfacing a pickled remote traceback.
+    """
+    unit, submitted = payload
+    started = time.monotonic()
+    pid = os.getpid()
+    base = {
+        "pid": pid,
+        "queue_wait_s": max(0.0, started - submitted),
+    }
+    try:
+        rows = evaluate_unit(unit)
+    except Exception as exc:
+        base.update({
+            "ok": False,
+            "eval_s": time.monotonic() - started,
+            "error_type": type(exc).__name__,
+            "error_msg": str(exc),
+            "traceback": _traceback.format_exc(),
+        })
+        return base
+    base.update({"ok": True, "rows": rows,
+                 "eval_s": time.monotonic() - started})
+    return base
+
+
 @dataclass(frozen=True)
 class SweepResult:
     """All evaluated grids of one sweep, plus its accounting."""
@@ -221,6 +287,8 @@ class SweepResult:
     elapsed_s: float
     workers: int
     parallel: bool
+    #: Per-unit evaluation telemetry (cache hits included, eval_s == 0).
+    unit_stats: Tuple[UnitStat, ...] = ()
 
     def grid(self, benchmark: ProfileLike, utility: Any = None,
              market: Any = None) -> Dict[Tuple[float, int], float]:
@@ -240,13 +308,28 @@ class SweepEngine:
     def __init__(self, jobs: Optional[int] = None,
                  cache: Optional[ResultCache] = None,
                  parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD,
-                 metrics: Optional[EngineMetrics] = None):
+                 metrics: Optional[EngineMetrics] = None,
+                 obs: Optional[Observability] = None,
+                 timeout_s: Optional[float] = None):
         if jobs is not None and jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
         self.cache = cache if cache is not None else ResultCache()
         self.parallel_threshold = parallel_threshold
         self.metrics = metrics if metrics is not None else EngineMetrics()
+        self.obs = obs if obs is not None else OBS_OFF
+        self.timeout_s = timeout_s
+        # Pre-bound instruments: null objects when obs is off, so the
+        # hot scheduling loop never branches on enablement.
+        scope = self.obs.scope("engine")
+        self._c_sweeps = scope.counter("sweeps")
+        self._c_units = scope.counter("units")
+        self._c_points = scope.counter("points")
+        self._c_cache_hits = scope.counter("cache.hits")
+        self._c_cache_misses = scope.counter("cache.misses")
+        self._h_eval = scope.histogram("unit_eval_s")
+        self._h_queue = scope.histogram("unit_queue_wait_s")
+        self._t_sweep = scope.timer("sweep_s")
 
     # ------------------------------------------------------------------
     # core scheduling
@@ -254,16 +337,29 @@ class SweepEngine:
 
     def run(self, spec: SweepSpec,
             model: Optional[AnalyticModel] = None) -> SweepResult:
-        """Evaluate a spec: expand, consult the cache, fan out the rest."""
+        """Evaluate a spec: expand, consult the cache, fan out the rest.
+
+        Raises :class:`WorkUnitError` when a unit fails (its result never
+        reaches the cache; other completed units are still cached), and
+        :class:`SweepTimeoutError` when ``timeout_s`` expires with units
+        outstanding (stuck workers are terminated, queued units
+        cancelled).
+        """
         start = time.perf_counter()
+        sweep_start_us = now_us()
         units = spec.expand(model)
         results: Dict[WorkUnit, List[List[float]]] = {}
         pending: List[WorkUnit] = []
+        stats: List[UnitStat] = []
         hits = 0
         for unit in units:
             cached = self.cache.get(unit.cache_key())
             if cached is not None:
                 results[unit] = cached
+                stats.append(UnitStat(
+                    benchmark=unit.benchmark, kind=unit.kind,
+                    points=unit.points, cached=True,
+                ))
                 hits += 1
             else:
                 pending.append(unit)
@@ -272,21 +368,48 @@ class SweepEngine:
         workers = min(self.jobs, len(pending)) if pending else 0
         parallel = (workers > 1
                     and pending_points >= self.parallel_threshold)
+        outcomes: List[Dict[str, Any]] = []
         if parallel:
-            chunksize = max(1, math.ceil(len(pending) / (workers * 4)))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                for unit, rows in zip(
-                    pending,
-                    pool.map(evaluate_unit, pending, chunksize=chunksize),
-                ):
-                    results[unit] = rows
+            outcomes = self._run_parallel(pending, workers)
         else:
             workers = 1 if pending else 0
             for unit in pending:
-                results[unit] = evaluate_unit(unit)
-        for unit in pending:
-            self.cache.put(unit.cache_key(), results[unit],
-                           key_fields=unit.key_fields())
+                outcomes.append(
+                    _evaluate_unit_tracked((unit, time.monotonic()))
+                )
+
+        failure: Optional[Tuple[WorkUnit, Dict[str, Any]]] = None
+        for unit, outcome in zip(pending, outcomes):
+            stat = UnitStat(
+                benchmark=unit.benchmark, kind=unit.kind,
+                points=unit.points, cached=False,
+                worker_pid=outcome["pid"],
+                queue_wait_s=outcome["queue_wait_s"],
+                eval_s=outcome["eval_s"],
+            )
+            stats.append(stat)
+            self._h_eval.observe(stat.eval_s)
+            self._h_queue.observe(stat.queue_wait_s)
+            self._trace_unit(unit, outcome)
+            if outcome["ok"]:
+                # Only successful evaluations reach the on-disk cache; a
+                # failed unit must never poison it.
+                results[unit] = outcome["rows"]
+                self.cache.put(unit.cache_key(), outcome["rows"],
+                               key_fields=unit.key_fields())
+            elif failure is None:
+                failure = (unit, outcome)
+        self.metrics.record_units(stats)
+        if failure is not None:
+            unit, outcome = failure
+            raise WorkUnitError(
+                f"work unit {unit.benchmark!r} ({unit.kind}) failed in "
+                f"worker {outcome['pid']}: {outcome['error_type']}: "
+                f"{outcome['error_msg']}",
+                unit=unit,
+                worker_pid=outcome["pid"],
+                worker_traceback=outcome["traceback"],
+            )
 
         values: Dict[KindKey, Dict[Tuple[float, int], float]] = {}
         for unit in units:
@@ -303,6 +426,7 @@ class SweepEngine:
             elapsed_s=elapsed,
             workers=workers,
             parallel=parallel,
+            unit_stats=tuple(stats),
         )
         self.metrics.record(SweepRecord(
             kind=units[0].kind if units else "empty",
@@ -315,7 +439,95 @@ class SweepEngine:
             workers=workers,
             parallel=parallel,
         ))
+        self._c_sweeps.inc()
+        self._c_units.inc(len(units))
+        self._c_points.inc(sweep.points)
+        self._c_cache_hits.inc(hits)
+        self._c_cache_misses.inc(len(pending))
+        self._t_sweep.add(elapsed)
+        if self.obs.tracing:
+            self.obs.tracer.complete(
+                f"sweep.{sweep.units and units[0].kind or 'empty'}",
+                ts=sweep_start_us, dur=elapsed * 1e6, cat="engine",
+                args={"units": sweep.units, "points": sweep.points,
+                      "cache_hits": hits, "workers": workers,
+                      "parallel": parallel},
+            )
         return sweep
+
+    def _run_parallel(self, pending: List["WorkUnit"],
+                      workers: int) -> List[Dict[str, Any]]:
+        """Fan pending units across a process pool, tracked and bounded.
+
+        On timeout the pool is abandoned without waiting (queued futures
+        cancelled, worker processes terminated) so a hung unit cannot
+        wedge the sweep's caller.
+        """
+        chunksize = max(1, math.ceil(len(pending) / (workers * 4)))
+        submitted = time.monotonic()
+        payloads = [(unit, submitted) for unit in pending]
+        outcomes: List[Dict[str, Any]] = []
+        pool = ProcessPoolExecutor(max_workers=workers)
+        try:
+            iterator = pool.map(_evaluate_unit_tracked, payloads,
+                                chunksize=chunksize,
+                                timeout=self.timeout_s)
+            while True:
+                try:
+                    outcomes.append(next(iterator))
+                except StopIteration:
+                    break
+                except FuturesTimeout:
+                    stuck = tuple(pending[len(outcomes):])
+                    self._abandon_pool(pool)
+                    names = ", ".join(
+                        u.benchmark for u in stuck[:5]
+                    ) + ("..." if len(stuck) > 5 else "")
+                    raise SweepTimeoutError(
+                        f"sweep timed out after {self.timeout_s:g}s with "
+                        f"{len(stuck)} of {len(pending)} units "
+                        f"outstanding ({names})",
+                        pending_units=stuck,
+                    ) from None
+            pool.shutdown(wait=True)
+        except BaseException:
+            self._abandon_pool(pool)
+            raise
+        return outcomes
+
+    @staticmethod
+    def _abandon_pool(pool: ProcessPoolExecutor) -> None:
+        """Tear a pool down without waiting on its (possibly hung)
+        workers."""
+        pool.shutdown(wait=False, cancel_futures=True)
+        try:
+            processes = list((pool._processes or {}).values())
+        except Exception:
+            processes = []
+        for proc in processes:
+            try:
+                proc.terminate()
+            except Exception:
+                pass
+
+    def _trace_unit(self, unit: "WorkUnit",
+                    outcome: Dict[str, Any]) -> None:
+        """Emit one complete-span trace event per evaluated unit, on the
+        worker pid's track, positioned by its monotonic start time."""
+        if not self.obs.tracing:
+            return
+        from repro.obs.profiling import _ORIGIN
+
+        start_s = (time.monotonic() - _ORIGIN
+                   - outcome["eval_s"])
+        self.obs.tracer.complete(
+            f"unit.{unit.benchmark}", ts=start_s * 1e6,
+            dur=outcome["eval_s"] * 1e6, cat="engine",
+            tid=outcome["pid"],
+            args={"kind": unit.kind, "points": unit.points,
+                  "queue_wait_s": round(outcome["queue_wait_s"], 6),
+                  "ok": outcome["ok"]},
+        )
 
     # ------------------------------------------------------------------
     # convenience maps

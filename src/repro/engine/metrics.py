@@ -19,9 +19,40 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+from repro.obs.registry import summarize
+
 _TOTAL_FIELDS = ("sweeps", "units", "points", "cache_hits", "cache_misses",
                  "evaluated_units", "evaluated_points", "parallel_sweeps",
                  "eval_elapsed_s")
+
+
+@dataclass(frozen=True)
+class UnitStat:
+    """Telemetry for one evaluated work unit.
+
+    Cache hits appear with ``cached=True`` and zero timings; evaluated
+    units carry the pid of the worker that ran them plus how long the
+    unit waited in the pool queue and how long evaluation took.
+    """
+
+    benchmark: str
+    kind: str
+    points: int
+    cached: bool
+    worker_pid: int = 0
+    queue_wait_s: float = 0.0
+    eval_s: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "benchmark": self.benchmark,
+            "kind": self.kind,
+            "points": self.points,
+            "cached": self.cached,
+            "worker_pid": self.worker_pid,
+            "queue_wait_s": self.queue_wait_s,
+            "eval_s": self.eval_s,
+        }
 
 
 @dataclass
@@ -57,9 +88,36 @@ class EngineMetrics:
     """Aggregate counters plus the per-sweep record stream."""
 
     records: List[SweepRecord] = field(default_factory=list)
+    unit_stats: List[UnitStat] = field(default_factory=list)
 
     def record(self, record: SweepRecord) -> None:
         self.records.append(record)
+
+    def record_units(self, stats) -> None:
+        self.unit_stats.extend(stats)
+
+    def unit_distributions(self) -> Dict[str, Any]:
+        """Latency/queue-wait distributions over evaluated units, plus a
+        per-worker breakdown.  Cache hits count toward ``cached`` only -
+        their zero timings would distort the distributions."""
+        evaluated = [u for u in self.unit_stats if not u.cached]
+        by_worker: Dict[int, List[UnitStat]] = {}
+        for stat in evaluated:
+            by_worker.setdefault(stat.worker_pid, []).append(stat)
+        return {
+            "cached_units": sum(1 for u in self.unit_stats if u.cached),
+            "evaluated_units": len(evaluated),
+            "eval_s": summarize([u.eval_s for u in evaluated]),
+            "queue_wait_s": summarize([u.queue_wait_s for u in evaluated]),
+            "workers": {
+                str(pid): {
+                    "units": len(stats),
+                    "points": sum(u.points for u in stats),
+                    "eval_s_total": sum(u.eval_s for u in stats),
+                }
+                for pid, stats in sorted(by_worker.items())
+            },
+        }
 
     def totals(self) -> Dict[str, float]:
         totals: Dict[str, float] = {name: 0 for name in _TOTAL_FIELDS}
@@ -89,6 +147,7 @@ class EngineMetrics:
         return {
             "totals": self.totals(),
             "sweeps": [rec.to_dict() for rec in self.records],
+            "unit_distributions": self.unit_distributions(),
         }
 
 
@@ -101,17 +160,28 @@ def _delta(after: Dict[str, float], before: Dict[str, float]
 
 
 class RunMetrics:
-    """Per-experiment wall time + engine activity for one runner pass."""
+    """Per-experiment wall time + engine activity for one runner pass.
 
-    def __init__(self, engine: Optional[Any] = None):
+    With ``obs`` attached, every measured experiment also becomes a
+    complete-span trace event (category ``runner``) and the exported
+    dict carries the observability snapshot alongside the engine
+    accounting.
+    """
+
+    def __init__(self, engine: Optional[Any] = None,
+                 obs: Optional[Any] = None):
         self.engine = engine
+        self.obs = obs
         self.experiments: List[Dict[str, Any]] = []
         self._t0 = time.perf_counter()
 
     @contextmanager
     def measure(self, name: str):
+        from repro.obs.profiling import now_us
+
         before = self.engine.metrics.totals() if self.engine else {}
         start = time.perf_counter()
+        start_us = now_us()
         entry: Dict[str, Any] = {"name": name}
         try:
             yield entry
@@ -124,6 +194,12 @@ class RunMetrics:
                 entry["engine"]["points"] / wall if wall > 0 else 0.0
             )
             self.experiments.append(entry)
+            if self.obs is not None and self.obs.tracing:
+                self.obs.tracer.complete(
+                    f"experiment.{name}", ts=start_us,
+                    dur=wall * 1e6, cat="runner",
+                    args={"points": entry["engine"]["points"]},
+                )
 
     @property
     def total_wall_s(self) -> float:
@@ -140,6 +216,11 @@ class RunMetrics:
             out["engine"]["cache"] = dict(self.engine.cache.counters())
             out["engine"]["cache_enabled"] = self.engine.cache.enabled
             out["engine"]["cache_dir"] = str(self.engine.cache.root)
+            out["engine"]["unit_distributions"] = (
+                self.engine.metrics.unit_distributions()
+            )
+        if self.obs is not None and self.obs.enabled:
+            out["obs"] = self.obs.snapshot()
         return out
 
     def to_json(self, indent: Optional[int] = 2) -> str:

@@ -3,11 +3,16 @@
 ``python -m repro.experiments.runner`` runs every table/figure in the
 paper's presentation order.  Flags:
 
-``--only <name>``   run one experiment (repeatable; see ``NAMES``)
-``--jobs N``        worker processes for the sweep engine (default 1)
-``--json <path>``   export all results + run metrics as JSON
-``--no-cache``      disable the persistent result cache
-``--cache-dir DIR`` cache location (default ``.repro_cache``)
+``--only <name>``     run one experiment (repeatable; see ``NAMES``)
+``--jobs N``          worker processes for the sweep engine (default 1)
+``--json <path>``     export all results + run metrics as JSON
+``--no-cache``        disable the persistent result cache
+``--cache-dir DIR``   cache location (default ``.repro_cache``)
+``--obs``             enable the instrument registry (repro.obs)
+``--trace PATH``      write a Chrome trace_event JSON of the run
+                      (implies ``--obs``; open in ui.perfetto.dev)
+``--metrics-out PATH``  write run metrics (+ obs snapshot) as JSON
+``--timeout S``       per-sweep wall-clock bound for pool fan-outs
 
 Every experiment goes through the same path: ``module.run(engine=...)``
 returns a frozen :class:`~repro.experiments.base.ExperimentResult`,
@@ -23,6 +28,7 @@ import sys
 from typing import Optional, Sequence
 
 from repro.engine import ResultCache, RunMetrics, SweepEngine
+from repro.obs import OBS_OFF, Observability
 from repro.experiments import (
     area_decomposition,
     cache_sensitivity,
@@ -88,14 +94,29 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--cache-dir", metavar="DIR", default=None,
                         help="result-cache directory "
                              "(default .repro_cache, or $REPRO_CACHE_DIR)")
+    parser.add_argument("--obs", action="store_true",
+                        help="enable the instrument registry "
+                             "(counters/histograms in --metrics-out)")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="write a Chrome trace_event JSON of the run "
+                             "(implies --obs; open in ui.perfetto.dev)")
+    parser.add_argument("--metrics-out", metavar="PATH", default=None,
+                        help="write run metrics (and, with --obs, the "
+                             "instrument snapshot) as JSON")
+    parser.add_argument("--timeout", type=float, default=None, metavar="S",
+                        help="per-sweep wall-clock bound for parallel "
+                             "fan-outs (seconds)")
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     cache = ResultCache(root=args.cache_dir, enabled=not args.no_cache)
-    engine = SweepEngine(jobs=args.jobs, cache=cache)
-    run_metrics = RunMetrics(engine=engine)
+    obs = (Observability(trace=args.trace is not None)
+           if (args.obs or args.trace is not None) else OBS_OFF)
+    engine = SweepEngine(jobs=args.jobs, cache=cache, obs=obs,
+                         timeout_s=args.timeout)
+    run_metrics = RunMetrics(engine=engine, obs=obs)
 
     selected = [
         (title, module)
@@ -122,6 +143,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         with open(args.json, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=2)
         print(f"wrote {args.json}")
+    if args.metrics_out:
+        payload = {
+            "schema": EXPORT_SCHEMA,
+            "metrics": run_metrics.to_dict(),
+        }
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, default=str)
+        print(f"wrote {args.metrics_out}")
+    if args.trace:
+        obs.export_trace(args.trace, process_name="repro.experiments")
+        print(f"wrote {args.trace}")
     return 0
 
 

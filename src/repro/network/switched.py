@@ -23,6 +23,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.network.messages import Message
 from repro.network.topology import Mesh2D
+from repro.obs.tracer import NULL_TRACER
 
 
 @dataclass
@@ -72,8 +73,27 @@ class SwitchedNetwork:
         self.model_contention = model_contention
         self.channels = channels
         self.stats = NetworkStats()
+        self._tracer = NULL_TRACER
         # link -> next cycle at which each channel of the link is free
         self._link_free: Dict[Tuple[int, int], list] = {}
+
+    def attach_obs(self, scope, tracer=NULL_TRACER) -> None:
+        """Attach traffic gauges and (optionally) an event tracer.
+
+        With a live tracer every :meth:`send` emits one complete span
+        (``cat="network"``, ``ts`` = injection cycle, ``dur`` = transit
+        latency) so SON traffic shows up as lanes in Perfetto.
+        """
+        self._tracer = tracer
+        scope.gauge("messages", lambda: self.stats.messages)
+        scope.gauge("total_hops", lambda: self.stats.total_hops)
+        scope.gauge("mean_latency", lambda: self.stats.mean_latency)
+        scope.gauge("mean_hops", lambda: self.stats.mean_hops)
+        scope.gauge("contention_cycles",
+                    lambda: self.stats.contention_cycles)
+        scope.info("insertion_delay", self.insertion_delay)
+        scope.info("per_hop", self.per_hop)
+        scope.info("channels", self.channels)
 
     def latency(self, src: int, dst: int) -> int:
         """Unloaded one-way latency from ``src`` to ``dst``."""
@@ -93,9 +113,17 @@ class SwitchedNetwork:
         unloaded = self.insertion_delay + self.per_hop * hops
         if not self.model_contention:
             self.stats.record(hops=hops, latency=unloaded, queued=0)
+            self._tracer.complete(
+                f"{self.name}.msg", ts=start, dur=unloaded, cat="network",
+                tid=src, args={"dst": dst, "hops": hops},
+            )
             return start + unloaded
         arrival, queued = self._send_contended(src, dst, start)
         self.stats.record(hops=hops, latency=arrival - start, queued=queued)
+        self._tracer.complete(
+            f"{self.name}.msg", ts=start, dur=arrival - start, cat="network",
+            tid=src, args={"dst": dst, "hops": hops, "queued": queued},
+        )
         return arrival
 
     def _send_contended(self, src: int, dst: int, start: int) -> Tuple[int, int]:

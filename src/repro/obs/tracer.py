@@ -1,0 +1,182 @@
+"""Structured event tracer with a bounded ring buffer.
+
+Components emit *events* - instants, completed spans, counter samples -
+into an :class:`EventTracer`.  The buffer is a ``deque`` with a fixed
+``maxlen``: tracing never grows without bound; once full, the oldest
+events are dropped (and counted) so a long run keeps its most recent
+window.
+
+The buffer exports to the Chrome ``trace_event`` JSON format
+(``{"traceEvents": [...]}``) and can be opened directly in
+``chrome://tracing`` or https://ui.perfetto.dev.  Timestamps (``ts``)
+are microseconds per the format; the cycle-level simulator maps one
+cycle to one microsecond, so a Perfetto timeline reads directly in
+cycles.
+
+Event schema (one dict per event)::
+
+    {"name": str, "ph": "X"|"i"|"C", "ts": float, "pid": int,
+     "tid": int, "cat": str, ["dur": float,] ["args": {...}]}
+
+``ph`` phases used: ``X`` complete span (has ``dur``), ``i`` instant,
+``C`` counter sample.  A :class:`NullTracer` singleton provides the
+disabled fast path: every emit method is an empty one-liner.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Any, Dict, List, Optional
+
+#: Default ring capacity (events).  ~65k events is enough for several
+#: thousand simulated instructions across all categories.
+DEFAULT_CAPACITY = 65536
+
+
+class EventTracer:
+    """Bounded ring buffer of structured trace events."""
+
+    enabled = True
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, pid: int = 1):
+        if capacity < 1:
+            raise ValueError("tracer capacity must be >= 1")
+        self.capacity = capacity
+        self.pid = pid
+        self.emitted = 0
+        self._events: deque = deque(maxlen=capacity)
+        self._thread_names: Dict[int, str] = {}
+
+    # ------------------------------------------------------------------
+    # emission
+    # ------------------------------------------------------------------
+
+    def instant(self, name: str, ts: float, cat: str = "",
+                tid: int = 0, args: Optional[Dict[str, Any]] = None) -> None:
+        self.emitted += 1
+        self._events.append((name, "i", ts, tid, cat, None, args))
+
+    def complete(self, name: str, ts: float, dur: float, cat: str = "",
+                 tid: int = 0, args: Optional[Dict[str, Any]] = None) -> None:
+        self.emitted += 1
+        self._events.append((name, "X", ts, tid, cat, dur, args))
+
+    def counter(self, name: str, ts: float, values: Dict[str, float],
+                tid: int = 0, cat: str = "") -> None:
+        self.emitted += 1
+        self._events.append((name, "C", ts, tid, cat, None, dict(values)))
+
+    def set_thread_name(self, tid: int, name: str) -> None:
+        """Label a ``tid`` lane in the exported trace."""
+        self._thread_names[tid] = name
+
+    # ------------------------------------------------------------------
+    # inspection / export
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def dropped(self) -> int:
+        """Events lost to ring wrap-around."""
+        return self.emitted - len(self._events)
+
+    def events(self) -> List[Dict[str, Any]]:
+        """The buffered events as trace_event dicts (oldest first)."""
+        out: List[Dict[str, Any]] = []
+        for name, ph, ts, tid, cat, dur, args in self._events:
+            event: Dict[str, Any] = {
+                "name": name, "ph": ph, "ts": ts,
+                "pid": self.pid, "tid": tid,
+            }
+            if cat:
+                event["cat"] = cat
+            if dur is not None:
+                event["dur"] = dur
+            if args is not None:
+                event["args"] = args
+            if ph == "i":
+                event["s"] = "t"  # instant scope: thread
+            out.append(event)
+        return out
+
+    def categories(self) -> List[str]:
+        return sorted({e[4] for e in self._events if e[4]})
+
+    def chrome_trace(self, process_name: str = "repro") -> Dict[str, Any]:
+        """The full Chrome trace_event document (with metadata events)."""
+        meta: List[Dict[str, Any]] = [{
+            "name": "process_name", "ph": "M", "ts": 0,
+            "pid": self.pid, "tid": 0,
+            "args": {"name": process_name},
+        }]
+        for tid, name in sorted(self._thread_names.items()):
+            meta.append({
+                "name": "thread_name", "ph": "M", "ts": 0,
+                "pid": self.pid, "tid": tid, "args": {"name": name},
+            })
+        return {
+            "traceEvents": meta + self.events(),
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "emitted": self.emitted,
+                "dropped": self.dropped,
+                "capacity": self.capacity,
+            },
+        }
+
+    def export(self, path, process_name: str = "repro") -> None:
+        """Write the Chrome trace JSON to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.chrome_trace(process_name=process_name), handle)
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.emitted = 0
+
+
+class NullTracer:
+    """Disabled fast path: every method is a no-op."""
+
+    __slots__ = ()
+
+    enabled = False
+    capacity = 0
+    emitted = 0
+    dropped = 0
+
+    def instant(self, name, ts, cat="", tid=0, args=None) -> None:
+        pass
+
+    def complete(self, name, ts, dur, cat="", tid=0, args=None) -> None:
+        pass
+
+    def counter(self, name, ts, values, tid=0, cat="") -> None:
+        pass
+
+    def set_thread_name(self, tid, name) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+    def events(self) -> List[Dict[str, Any]]:
+        return []
+
+    def categories(self) -> List[str]:
+        return []
+
+    def chrome_trace(self, process_name: str = "repro") -> Dict[str, Any]:
+        return {"traceEvents": [], "displayTimeUnit": "ms", "otherData": {}}
+
+    def export(self, path, process_name: str = "repro") -> None:
+        pass
+
+    def clear(self) -> None:
+        pass
+
+
+#: Module-level singleton - the null-object fast path.
+NULL_TRACER = NullTracer()

@@ -1,0 +1,178 @@
+"""Fault paths of the sweep engine: failing units, hung workers,
+corrupted cache entries.
+
+A failing work unit must surface as a one-line :class:`WorkUnitError`
+(worker traceback on an attribute, not in ``str()``), must never write
+to the on-disk result cache, and a hung worker must trip ``timeout_s``
+rather than wedging the sweep.  The hang/failure tests monkeypatch
+``repro.engine.core.evaluate_unit`` in the parent; the ``fork`` start
+method propagates the patch into pool workers.
+"""
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro.engine import (
+    ResultCache,
+    SweepEngine,
+    SweepSpec,
+    SweepTimeoutError,
+    WorkUnitError,
+)
+from repro.engine import core as engine_core
+
+IS_FORK = multiprocessing.get_start_method() == "fork"
+
+BENCHES = ("gcc", "bzip")
+GRID = dict(cache_grid=(0.0, 128.0), slice_grid=(1, 2, 4))
+
+
+def _engine(tmp_path, **kwargs):
+    return SweepEngine(cache=ResultCache(root=tmp_path / "cache"),
+                       **kwargs)
+
+
+def _spec(*benches):
+    return SweepSpec(benchmarks=benches or BENCHES, **GRID)
+
+
+def _boom(unit):
+    raise ValueError(f"synthetic failure for {unit.benchmark}")
+
+
+def _hang(unit):
+    time.sleep(60)
+
+
+class TestFailingUnit:
+    def test_serial_failure_raises_clear_error(self, tmp_path,
+                                               monkeypatch):
+        monkeypatch.setattr(engine_core, "evaluate_unit", _boom)
+        engine = _engine(tmp_path, jobs=1)
+        with pytest.raises(WorkUnitError) as excinfo:
+            engine.run(_spec("gcc"))
+        message = str(excinfo.value)
+        assert "gcc" in message
+        assert "ValueError" in message
+        assert "synthetic failure" in message
+        # one line, traceback relegated to the attribute
+        assert "\n" not in message
+        assert "Traceback" not in message
+        assert "Traceback" in excinfo.value.worker_traceback
+        assert excinfo.value.unit.benchmark == "gcc"
+
+    def test_failure_does_not_poison_cache(self, tmp_path, monkeypatch):
+        engine = _engine(tmp_path, jobs=1)
+        spec = _spec("gcc")
+        key = spec.expand()[0].cache_key()
+
+        monkeypatch.setattr(engine_core, "evaluate_unit", _boom)
+        with pytest.raises(WorkUnitError):
+            engine.run(spec)
+        assert engine.cache.get(key) is None
+
+        # undo the fault: the unit re-evaluates cleanly and caches
+        monkeypatch.undo()
+        sweep = engine.run(spec)
+        assert sweep.cache_hits == 0
+        assert engine.cache.get(key) is not None
+        assert engine.run(spec).cache_hits == 1
+
+    def test_successful_units_cached_despite_sibling_failure(
+            self, tmp_path, monkeypatch):
+        real = engine_core.evaluate_unit
+
+        def selective(unit):
+            if unit.benchmark == "bzip":
+                raise RuntimeError("bzip only")
+            return real(unit)
+
+        monkeypatch.setattr(engine_core, "evaluate_unit", selective)
+        engine = _engine(tmp_path, jobs=1)
+        spec = _spec("gcc", "bzip")
+        keys = {u.benchmark: u.cache_key() for u in spec.expand()}
+        with pytest.raises(WorkUnitError, match="bzip"):
+            engine.run(spec)
+        assert engine.cache.get(keys["gcc"]) is not None
+        assert engine.cache.get(keys["bzip"]) is None
+
+    @pytest.mark.skipif(not IS_FORK,
+                        reason="monkeypatch propagation needs fork")
+    def test_parallel_failure_raises_clear_error(self, tmp_path,
+                                                 monkeypatch):
+        monkeypatch.setattr(engine_core, "evaluate_unit", _boom)
+        engine = _engine(tmp_path, jobs=2, parallel_threshold=1)
+        with pytest.raises(WorkUnitError) as excinfo:
+            engine.run(_spec())
+        assert "ValueError" in str(excinfo.value)
+        assert excinfo.value.worker_pid > 0
+        assert "Traceback" in excinfo.value.worker_traceback
+
+
+class TestHungWorker:
+    @pytest.mark.skipif(not IS_FORK,
+                        reason="monkeypatch propagation needs fork")
+    def test_timeout_raises_and_names_pending_units(self, tmp_path,
+                                                    monkeypatch):
+        monkeypatch.setattr(engine_core, "evaluate_unit", _hang)
+        engine = _engine(tmp_path, jobs=2, parallel_threshold=1,
+                         timeout_s=1.0)
+        start = time.perf_counter()
+        with pytest.raises(SweepTimeoutError) as excinfo:
+            engine.run(_spec())
+        elapsed = time.perf_counter() - start
+        assert elapsed < 30  # did not wait for the 60s sleep
+        assert excinfo.value.pending_units
+        assert "timed out" in str(excinfo.value)
+
+    def test_serial_runs_ignore_timeout(self, tmp_path):
+        # timeout applies to pool fan-outs; small sweeps stay serial
+        engine = _engine(tmp_path, jobs=1, timeout_s=0.000001)
+        sweep = engine.run(_spec("gcc"))
+        assert sweep.units == 1
+
+
+class TestCorruptedCache:
+    def test_corrupt_entry_detected_and_recomputed(self, tmp_path):
+        engine = _engine(tmp_path, jobs=1)
+        spec = _spec("gcc")
+        first = engine.run(spec)
+        unit = spec.expand()[0]
+        path = engine.cache._path_for(unit.cache_key())
+        assert path.exists()
+        path.write_text("{ this is not json")
+
+        again = _engine(tmp_path, jobs=1)
+        sweep = again.run(spec)
+        assert sweep.cache_hits == 0
+        assert sweep.cache_misses == 1
+        assert sweep.grid("gcc") == first.grid("gcc")
+        # the recompute repaired the entry
+        warm = _engine(tmp_path, jobs=1).run(spec)
+        assert warm.cache_hits == 1
+
+    def test_truncated_entry_treated_as_miss(self, tmp_path):
+        engine = _engine(tmp_path, jobs=1)
+        spec = _spec("gcc")
+        engine.run(spec)
+        path = engine.cache._path_for(spec.expand()[0].cache_key())
+        path.write_text("")
+        sweep = _engine(tmp_path, jobs=1).run(spec)
+        assert sweep.cache_misses == 1
+
+
+class TestUnitTelemetry:
+    def test_unit_stats_cover_all_units(self, tmp_path):
+        engine = _engine(tmp_path, jobs=1)
+        sweep = engine.run(_spec())
+        assert len(sweep.unit_stats) == sweep.units
+        assert all(not s.cached and s.eval_s >= 0
+                   for s in sweep.unit_stats)
+        warm = engine.run(_spec())
+        assert all(s.cached for s in warm.unit_stats)
+        dist = engine.metrics.unit_distributions()
+        assert dist["evaluated_units"] == 2
+        assert dist["cached_units"] == 2
+        assert dist["eval_s"]["count"] == 2

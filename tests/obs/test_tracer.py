@@ -1,0 +1,85 @@
+"""Unit tests for the bounded event tracer (repro.obs.tracer)."""
+
+import json
+
+from repro.obs.tracer import EventTracer, NULL_TRACER
+
+
+class TestEmission:
+    def test_event_dicts_follow_trace_event_schema(self):
+        t = EventTracer(pid=7)
+        t.instant("branch", ts=10.0, cat="core", tid=1, args={"pc": 4})
+        t.complete("msg", ts=5.0, dur=3.0, cat="network", tid=0)
+        t.counter("occupancy", ts=8.0, values={"rob": 12})
+        events = t.events()
+        assert [e["ph"] for e in events] == ["i", "X", "C"]
+        for event in events:
+            assert event["pid"] == 7
+            assert {"name", "ph", "ts", "tid"} <= set(event)
+        assert events[0]["s"] == "t"  # instants carry a scope
+        assert events[1]["dur"] == 3.0
+        assert events[2]["args"] == {"rob": 12}
+
+    def test_categories_sorted_unique(self):
+        t = EventTracer()
+        t.instant("a", ts=0, cat="network")
+        t.instant("b", ts=1, cat="core")
+        t.instant("c", ts=2, cat="core")
+        assert t.categories() == ["core", "network"]
+
+
+class TestRingBuffer:
+    def test_oldest_events_dropped_at_capacity(self):
+        t = EventTracer(capacity=4)
+        for i in range(10):
+            t.instant(f"e{i}", ts=float(i))
+        assert len(t) == 4
+        assert t.emitted == 10
+        assert t.dropped == 6
+        assert [e["name"] for e in t.events()] == ["e6", "e7", "e8", "e9"]
+
+    def test_clear_resets_counts(self):
+        t = EventTracer(capacity=4)
+        t.instant("x", ts=0)
+        t.clear()
+        assert len(t) == 0
+        assert t.emitted == 0
+        assert t.dropped == 0
+
+
+class TestChromeExport:
+    def test_export_is_loadable_chrome_trace(self, tmp_path):
+        t = EventTracer(pid=3)
+        t.set_thread_name(0, "slice0")
+        t.complete("op", ts=1.0, dur=2.0, cat="core")
+        path = tmp_path / "out.trace.json"
+        t.export(path, process_name="unit-test")
+        doc = json.load(open(path))
+        assert isinstance(doc["traceEvents"], list)
+        metas = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        names = {(e["name"], e["args"]["name"]) for e in metas}
+        assert ("process_name", "unit-test") in names
+        assert ("thread_name", "slice0") in names
+        assert doc["otherData"]["emitted"] == 1
+        assert doc["otherData"]["dropped"] == 0
+
+    def test_drop_accounting_reaches_export(self):
+        t = EventTracer(capacity=2)
+        for i in range(5):
+            t.instant(f"e{i}", ts=float(i))
+        doc = t.chrome_trace()
+        assert doc["otherData"]["dropped"] == 3
+
+
+class TestNullTracer:
+    def test_null_tracer_is_inert(self, tmp_path):
+        NULL_TRACER.instant("x", ts=0)
+        NULL_TRACER.complete("y", ts=0, dur=1)
+        NULL_TRACER.counter("z", ts=0, values={})
+        assert len(NULL_TRACER) == 0
+        assert NULL_TRACER.events() == []
+        assert not NULL_TRACER.enabled
+        # export is a no-op: no file created
+        path = tmp_path / "never.json"
+        NULL_TRACER.export(path)
+        assert not path.exists()

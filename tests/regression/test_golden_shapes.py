@@ -1,0 +1,92 @@
+"""Golden-shape regression tests for the paper's headline curves.
+
+``fixtures/golden_shapes.json`` pins the seed run's Figure 12 speedup
+series (per benchmark, at the 128 KB baseline over the Slice grid) and
+Figure 13 L2 miss-fraction series (over the cache grid).  The tests
+assert both exact-shape invariants (monotonicity) and closeness to the
+committed values, so a model/calibration change that silently reshapes
+the curves fails loudly.  Regenerate the fixture deliberately when a
+change is *meant* to move the curves (see the JSON's field layout).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import scalability
+from repro.perfmodel.model import CACHE_GRID_KB, SLICE_GRID
+from repro.trace.profiles import all_benchmarks, get_profile
+
+FIXTURE = Path(__file__).parent / "fixtures" / "golden_shapes.json"
+REL_TOL = 1e-6
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(FIXTURE.read_text())
+
+
+@pytest.fixture(scope="module")
+def fig12():
+    return scalability.run()
+
+
+class TestFig12Speedups:
+    def test_grid_matches_fixture(self, golden, fig12):
+        assert list(fig12.slice_grid) == golden["fig12"]["slice_grid"]
+        assert (golden["fig12"]["baseline_cache_kb"]
+                == scalability.BASELINE_CACHE_KB)
+
+    def test_benchmark_set_matches_fixture(self, golden, fig12):
+        assert sorted(fig12.series) == sorted(golden["fig12"]["speedups"])
+
+    def test_values_match_seed_run(self, golden, fig12):
+        for bench, expected in golden["fig12"]["speedups"].items():
+            got = fig12.series[bench]
+            assert got == pytest.approx(expected, rel=REL_TOL), bench
+
+    def test_speedup_monotone_nondecreasing_in_slices(self, fig12):
+        for bench, series in fig12.series.items():
+            for lo, hi in zip(series, series[1:]):
+                assert hi >= lo - 1e-12, (
+                    f"{bench}: speedup dropped from {lo} to {hi}"
+                )
+
+    def test_single_slice_is_unity_baseline(self, fig12):
+        idx = fig12.slice_grid.index(1)
+        for bench, series in fig12.series.items():
+            assert series[idx] == pytest.approx(1.0), bench
+
+
+class TestFig13MissFractions:
+    def test_grid_matches_fixture(self, golden):
+        assert list(CACHE_GRID_KB) == golden["fig13"]["cache_grid_kb"]
+
+    def test_values_match_seed_run(self, golden):
+        for bench, expected in golden["fig13"]["l2_miss_fraction"].items():
+            got = [get_profile(bench).l2_miss_fraction(c)
+                   for c in CACHE_GRID_KB]
+            assert got == pytest.approx(expected, rel=REL_TOL), bench
+
+    def test_miss_fraction_nonincreasing_in_cache_size(self):
+        for bench in all_benchmarks():
+            profile = get_profile(bench)
+            series = [profile.l2_miss_fraction(c) for c in CACHE_GRID_KB]
+            for lo, hi in zip(series, series[1:]):
+                assert hi <= lo + 1e-12, (
+                    f"{bench}: miss fraction rose from {lo} to {hi}"
+                )
+
+    def test_miss_fraction_in_unit_interval(self):
+        for bench in all_benchmarks():
+            profile = get_profile(bench)
+            for c in CACHE_GRID_KB:
+                assert 0.0 <= profile.l2_miss_fraction(c) <= 1.0
+
+
+def test_fixture_grids_cover_paper_ranges(golden):
+    # Equation 3 grid: Slices 1-8, cache 0 KB - 8 MB.
+    assert golden["fig12"]["slice_grid"] == list(SLICE_GRID)
+    assert golden["fig13"]["cache_grid_kb"][0] == 0
+    assert golden["fig13"]["cache_grid_kb"][-1] == 8192
