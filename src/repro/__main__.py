@@ -61,6 +61,10 @@ def _cmd_experiments(args) -> int:
         argv += ["--metrics-out", args.metrics_out]
     if args.timeout is not None:
         argv += ["--timeout", str(args.timeout)]
+    if args.sampling:
+        argv.append("--sampling")
+    if args.profile:
+        argv.append("--profile")
     return runner.main(argv)
 
 
@@ -86,13 +90,28 @@ def _cmd_simulate(args) -> int:
         obs = Observability(trace=args.trace is not None)
     warmup, trace = make_workload(args.benchmark, args.length,
                                   seed=args.seed)
-    result = simulate(trace, num_slices=args.slices,
-                      l2_cache_kb=args.cache_kb, warmup_addresses=warmup,
-                      obs=obs)
+    summary = None
+    if args.sampling:
+        from repro.sampling import simulate_sampled
+        result = simulate_sampled(trace, num_slices=args.slices,
+                                  l2_cache_kb=args.cache_kb,
+                                  warmup_addresses=warmup, obs=obs)
+        summary = result.sampling
+    else:
+        result = simulate(trace, num_slices=args.slices,
+                          l2_cache_kb=args.cache_kb,
+                          warmup_addresses=warmup, obs=obs)
     print(f"{args.benchmark} on ({args.slices} Slices, "
           f"{args.cache_kb:.0f} KB L2):")
     for key, value in result.stats.summary().items():
         print(f"  {key:16} {value}")
+    if summary is not None:
+        lo, hi = result.ipc_ci
+        print(f"  {'ipc_ci':16} [{lo:.4f}, {hi:.4f}] "
+              f"(+-{summary.relative_error:.1%})")
+        print(f"  {'detail_frac':16} {summary.detail_fraction:.3f} "
+              f"({summary.windows} windows, head "
+              f"{summary.head_instructions})")
     if args.metrics_out:
         payload = {
             "benchmark": args.benchmark,
@@ -164,6 +183,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write run metrics as JSON")
     exp.add_argument("--timeout", type=float, default=None, metavar="S",
                      help="per-sweep wall-clock bound (seconds)")
+    exp_mode = exp.add_mutually_exclusive_group()
+    exp_mode.add_argument("--sampling", action="store_true",
+                          help="interval-sampled simulation sweeps")
+    exp_mode.add_argument("--exact", action="store_true",
+                          help="exact simulation sweeps (default)")
+    exp.add_argument("--profile", action="store_true",
+                     help="wrap the run in cProfile "
+                          "(pstats next to --metrics-out)")
     exp.set_defaults(func=_cmd_experiments)
 
     one = sub.add_parser("experiment", help="run one artefact")
@@ -184,6 +211,12 @@ def build_parser() -> argparse.ArgumentParser:
                           "(open in ui.perfetto.dev)")
     sim.add_argument("--metrics-out", metavar="PATH", default=None,
                      help="write stats + instrument snapshot as JSON")
+    sim_mode = sim.add_mutually_exclusive_group()
+    sim_mode.add_argument("--sampling", action="store_true",
+                          help="interval-sampled run (reports IPC with "
+                               "a confidence interval)")
+    sim_mode.add_argument("--exact", action="store_true",
+                          help="exact cycle-level run (default)")
     sim.set_defaults(func=_cmd_simulate)
 
     opt = sub.add_parser("optimize", help="one customer's best purchase")

@@ -15,6 +15,9 @@ from typing import List, Optional, Sequence
 
 from repro.cache.setassoc import AccessResult, SetAssociativeCache
 
+#: Shared zero-bank miss result (frozen dataclass, safe to share).
+_MISS = AccessResult(hit=False)
+
 #: Paper Table 3 L2 bank geometry: 64 KB, 64 B lines, 4-way.
 L2_BANK_BYTES = 64 * 1024
 L2_LINE_BYTES = 64
@@ -120,13 +123,20 @@ class BankedL2:
         With zero banks every access misses with zero L2 latency (the
         request goes straight to memory), matching the paper's 0 KB L2
         configurations (Figure 13 starts at "0").
+
+        The bank selection and bank-local address arithmetic of
+        :meth:`bank_for` / :meth:`_bank_local_address` are inlined here:
+        this is the hottest call in cache warmup and fast-forward.
         """
-        bank = self.bank_for(address)
-        if bank is None:
-            return AccessResult(hit=False), 0
-        result = bank.access(self._bank_local_address(address),
+        banks = self.banks
+        if not banks:
+            return _MISS, 0
+        num_banks = len(banks)
+        line = address // self.line_size
+        bank = banks[line % num_banks]
+        result = bank.access((line // num_banks) * self.line_size,
                              is_write=is_write)
-        return result, bank.hit_latency
+        return result, bank.distance * L2_CYCLES_PER_DISTANCE + L2_BASE_LATENCY
 
     def flush(self) -> int:
         """Flush all banks (reconfiguration); returns dirty lines written."""

@@ -33,6 +33,13 @@ class AccessResult:
         return not self.hit
 
 
+#: Shared results for the two overwhelmingly common outcomes; the access
+#: path only allocates an ``AccessResult`` when a miss actually evicts.
+#: (``AccessResult`` is frozen, so sharing instances is safe.)
+_HIT = AccessResult(hit=True)
+_MISS_NO_EVICT = AccessResult(hit=False)
+
+
 class SetAssociativeCache:
     """Tag-only set-associative cache model.
 
@@ -75,28 +82,31 @@ class SetAssociativeCache:
 
     def access(self, address: int, is_write: bool = False) -> AccessResult:
         """Access ``address``; allocate on miss; returns hit/eviction info."""
-        line = self.line_of(address)
-        idx = self._set_index(line)
-        ways = self._sets.setdefault(idx, OrderedDict())
+        line = address // self.line_size
+        idx = line % self.num_sets
+        ways = self._sets.get(idx)
+        if ways is None:
+            ways = self._sets[idx] = OrderedDict()
         if line in ways:
             self.hits += 1
-            dirty = ways.pop(line) or is_write
-            ways[line] = dirty  # move to MRU
-            return AccessResult(hit=True)
+            if is_write and not ways[line]:
+                ways[line] = True  # dirty update keeps dict position
+            ways.move_to_end(line)  # MRU
+            return _HIT
         self.misses += 1
-        evicted_line = None
-        evicted_dirty = False
         if len(ways) >= self.assoc:
             evicted_line, evicted_dirty = ways.popitem(last=False)
+            ways[line] = is_write
             if evicted_dirty:
                 self.writebacks += 1
+            return AccessResult(
+                hit=False,
+                evicted_line=evicted_line,
+                evicted_dirty=evicted_dirty,
+                writeback=evicted_dirty,
+            )
         ways[line] = is_write
-        return AccessResult(
-            hit=False,
-            evicted_line=evicted_line,
-            evicted_dirty=evicted_dirty,
-            writeback=evicted_dirty,
-        )
+        return _MISS_NO_EVICT
 
     def prefetch(self, address: int) -> None:
         """Install a line without touching hit/miss statistics.
@@ -105,12 +115,13 @@ class SetAssociativeCache:
         prefetcher runs ahead of fetch, so its fills are not demand
         accesses.
         """
-        line = self.line_of(address)
-        idx = self._set_index(line)
-        ways = self._sets.setdefault(idx, OrderedDict())
+        line = address // self.line_size
+        idx = line % self.num_sets
+        ways = self._sets.get(idx)
+        if ways is None:
+            ways = self._sets[idx] = OrderedDict()
         if line in ways:
-            dirty = ways.pop(line)
-            ways[line] = dirty
+            ways.move_to_end(line)
             return
         if len(ways) >= self.assoc:
             _, evicted_dirty = ways.popitem(last=False)

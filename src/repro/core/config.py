@@ -17,8 +17,8 @@ parameters and latencies to be set from a XML configuration file"
 from __future__ import annotations
 
 import xml.etree.ElementTree as ET
-from dataclasses import dataclass, field, fields, replace
-from typing import List, Optional, Sequence
+from dataclasses import dataclass, field, fields, is_dataclass, replace
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.cache.l2 import default_bank_distances
 
@@ -189,6 +189,29 @@ class SimConfig:
         return replace(
             self, vcore=VCoreConfig(num_slices=num_slices, l2_cache_kb=l2_cache_kb)
         )
+
+    def fingerprint(self) -> Dict[str, Any]:
+        """Every result-affecting field as a stable, JSON-able mapping.
+
+        Built by walking the dataclass fields *recursively*, so a field
+        added to :class:`SliceConfig`, :class:`CacheConfig`,
+        :class:`VCoreConfig` or :class:`SimConfig` itself automatically
+        enters every result-cache key - a hand-maintained field list
+        could silently alias results for configs differing only in a
+        forgotten knob.
+        """
+
+        def _encode(value: Any) -> Any:
+            if is_dataclass(value) and not isinstance(value, type):
+                return {
+                    f.name: _encode(getattr(value, f.name))
+                    for f in fields(value)
+                }
+            if isinstance(value, (list, tuple)):
+                return [_encode(v) for v in value]
+            return value
+
+        return _encode(self)
 
     # ------------------------------------------------------------------
     # XML interface (paper Section 5.2)

@@ -1,8 +1,15 @@
-"""In-flight dynamic instruction state for SSim."""
+"""In-flight dynamic instruction state for SSim.
+
+:class:`DynInst` is the single hottest allocation in the detailed cycle
+loop (one per fetched instruction, touched by every pipeline stage), so
+it is a plain ``__slots__`` class rather than a dataclass: no per-instance
+``__dict__``, and the derived values the stages test every cycle
+(``seq``, ``op_class``) are bound once at construction instead of being
+recomputed through property chains.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, List, Optional, Tuple
 
 from repro.isa import Instruction, OpClass
@@ -14,48 +21,73 @@ NEVER = -1
 PENDING = 1 << 60
 
 
-@dataclass
 class DynInst:
     """One dynamic instruction moving through the VCore pipeline."""
 
-    inst: Instruction
-    slice_id: int
-    fetch_cycle: int = NEVER
-    rename_cycle: int = NEVER
-    dispatch_cycle: int = NEVER
-    issue_cycle: int = NEVER
-    complete_cycle: int = NEVER
-    commit_cycle: int = NEVER
+    __slots__ = (
+        "inst",
+        "slice_id",
+        "seq",
+        "op_class",
+        "fetch_cycle",
+        "rename_cycle",
+        "dispatch_cycle",
+        "issue_cycle",
+        "complete_cycle",
+        "commit_cycle",
+        "global_dst",
+        "frees_global",
+        "src_ready",
+        "predicted_taken",
+        "mispredicted",
+        "mem_home_slice",
+        "forwarded_from",
+        "squashed",
+        "waiters",
+        "prior_mapping",
+    )
 
-    #: Global logical register allocated for the destination.
-    global_dst: Optional[int] = None
-    #: Global register freed when this instruction commits.
-    frees_global: Optional[int] = None
-    #: Cycle at which each source operand becomes available on this Slice.
-    src_ready: List[int] = field(default_factory=list)
-    #: Predicted branch direction (branches only).
-    predicted_taken: bool = False
-    #: True once the branch resolved as mispredicted.
-    mispredicted: bool = False
-    #: Home Slice executing the memory access (after LS sorting).
-    mem_home_slice: Optional[int] = None
-    #: Load satisfied by forwarding from this store seq, if any.
-    forwarded_from: Optional[int] = None
-    #: Squashed by a memory-order violation replay.
-    squashed: bool = False
-    #: Consumers waiting on this instruction's result: (consumer, src_idx).
-    waiters: List[Tuple["DynInst", int]] = field(default_factory=list)
-    #: Prior global RAT mapping displaced by this instruction's destination
-    #: rename (freed at commit, restored on squash).
-    prior_mapping: Optional[Any] = None
+    def __init__(self, inst: Instruction, slice_id: int,
+                 fetch_cycle: int = NEVER):
+        self.inst = inst
+        self.slice_id = slice_id
+        #: Program-order position and functional-unit class, hoisted out
+        #: of the per-cycle stages (both are immutable facts of ``inst``).
+        self.seq: int = inst.seq
+        self.op_class: OpClass = inst.op_class
+        self.fetch_cycle = fetch_cycle
+        self.rename_cycle: int = NEVER
+        self.dispatch_cycle: int = NEVER
+        self.issue_cycle: int = NEVER
+        self.complete_cycle: int = NEVER
+        self.commit_cycle: int = NEVER
+        #: Global logical register allocated for the destination.
+        self.global_dst: Optional[int] = None
+        #: Global register freed when this instruction commits.
+        self.frees_global: Optional[int] = None
+        #: Cycle at which each source operand becomes available on this
+        #: Slice.
+        self.src_ready: List[int] = []
+        #: Predicted branch direction (branches only).
+        self.predicted_taken: bool = False
+        #: True once the branch resolved as mispredicted.
+        self.mispredicted: bool = False
+        #: Home Slice executing the memory access (after LS sorting).
+        self.mem_home_slice: Optional[int] = None
+        #: Load satisfied by forwarding from this store seq, if any.
+        self.forwarded_from: Optional[int] = None
+        #: Squashed by a memory-order violation replay.
+        self.squashed: bool = False
+        #: Consumers waiting on this result: (consumer, src_idx).
+        self.waiters: List[Tuple["DynInst", int]] = []
+        #: Prior global RAT mapping displaced by this instruction's
+        #: destination rename (freed at commit, restored on squash).
+        self.prior_mapping: Optional[Any] = None
 
-    @property
-    def seq(self) -> int:
-        return self.inst.seq
-
-    @property
-    def op_class(self) -> OpClass:
-        return self.inst.op_class
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"DynInst(seq={self.seq}, slice={self.slice_id}, "
+                f"{self.op_class.name}, fetch={self.fetch_cycle}, "
+                f"commit={self.commit_cycle})")
 
     @property
     def is_dispatched(self) -> bool:
@@ -75,6 +107,8 @@ class DynInst:
 
     def ready_cycle(self) -> int:
         """Cycle at which all source operands are available."""
-        if not self.src_ready:
-            return self.dispatch_cycle
-        return max(self.src_ready + [self.dispatch_cycle])
+        ready = self.dispatch_cycle
+        for cycle in self.src_ready:
+            if cycle > ready:
+                ready = cycle
+        return ready

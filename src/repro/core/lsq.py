@@ -12,19 +12,33 @@ resolved stores in the same bank.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 
-@dataclass
 class LSQEntry:
-    """One memory operation resident in a bank."""
+    """One memory operation resident in a bank.
 
-    seq: int  # age tag (program order)
-    is_store: bool
-    line: int
-    resolved_cycle: int
-    forwarded_from: Optional[int] = None
+    A ``__slots__`` class: banks hold one entry per in-flight memory
+    operation and the forwarding/violation scans walk them every cycle,
+    so the per-instance ``__dict__`` is worth eliding.
+    """
+
+    __slots__ = ("seq", "is_store", "line", "resolved_cycle",
+                 "forwarded_from")
+
+    def __init__(self, seq: int, is_store: bool, line: int,
+                 resolved_cycle: int,
+                 forwarded_from: Optional[int] = None):
+        self.seq = seq  # age tag (program order)
+        self.is_store = is_store
+        self.line = line
+        self.resolved_cycle = resolved_cycle
+        self.forwarded_from = forwarded_from
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "store" if self.is_store else "load"
+        return (f"LSQEntry(seq={self.seq}, {kind}, line={self.line}, "
+                f"resolved={self.resolved_cycle})")
 
 
 class LSQBank:

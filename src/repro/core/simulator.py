@@ -30,11 +30,9 @@ from the violating load.
 
 from __future__ import annotations
 
-import heapq
-import itertools
 from collections import deque
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import SimConfig
 from repro.core.dyninst import DynInst, NEVER, PENDING
@@ -52,12 +50,24 @@ class SimulationTimeout(RuntimeError):
 
 @dataclass
 class SimResult:
-    """Outcome of one SSim run."""
+    """Outcome of one SSim run.
+
+    Exact runs leave the sampling fields at their defaults.  Sampled
+    runs (see :mod:`repro.sampling`) report *extrapolated* ``stats``
+    plus the 95% confidence interval on IPC and a summary of the
+    sampling schedule that produced them.
+    """
 
     benchmark: str
     num_slices: int
     l2_cache_kb: float
     stats: SimStats
+    #: True when ``stats`` are extrapolated from sampled detail windows.
+    sampled: bool = False
+    #: 95% confidence interval on IPC (lo, hi); ``None`` for exact runs.
+    ipc_ci: Optional[Tuple[float, float]] = None
+    #: Sampling-schedule summary (a ``repro.sampling`` dataclass).
+    sampling: Optional[Any] = None
 
     @property
     def cycles(self) -> int:
@@ -125,6 +135,9 @@ class SharingSimulator:
         )
         self._now = 0
         self._fetch_ptr = 0
+        #: fetch stops at this trace position (sampled runs bound each
+        #: detailed window; exact runs leave it at the trace length)
+        self._fetch_limit = len(trace)
         self._fetch_stall_until = 0
         self._blocking_branch: Optional[DynInst] = None
         self._next_dispatch_seq = 0
@@ -134,12 +147,30 @@ class SharingSimulator:
         self._buf_count = [0] * self.vcore.num_slices
         #: global logical reg -> producing DynInst (until the reg is freed)
         self._producer_of: Dict[int, DynInst] = {}
-        #: min-heap of (complete_cycle, tiebreak, DynInst)
-        self._completion_q: List[Tuple[int, int, DynInst]] = []
-        self._tiebreak = itertools.count()
+        #: completion events batched per cycle: cycle -> [DynInst, ...]
+        #: in schedule order.  Completions are always scheduled strictly
+        #: in the future, so a per-cycle bucket pop replaces the heap
+        #: (same ordering: cycle major, insertion order minor).
+        self._completion_buckets: Dict[int, List[DynInst]] = {}
         #: stores dispatched but not yet address-resolved (ordered-LSQ
         #: ablation: loads wait for all older entries here)
         self._unresolved_stores: set = set()
+        #: instructions retired by functional fast-forward (not timed)
+        self.ff_retired = 0
+
+        # Hot-loop hoists: every per-cycle stage reads these instead of
+        # chasing config attribute chains.
+        s_cfg = self.config.slice_config
+        self._slices = self.vcore.slices
+        self._hierarchies = [ctx.hierarchy for ctx in self._slices]
+        self._fetch_width = s_cfg.fetch_width
+        self._buffer_cap = s_cfg.instruction_buffer_size
+        self._commit_budget = s_cfg.commit_width * self.vcore.num_slices
+        self._mul_latency = s_cfg.mul_latency
+        self._decode_latency = (self.config.frontend_depth
+                                + self._rename_depth)
+        self._issue_head_seq = -1
+        self._mem_can_issue_bound = self._mem_can_issue
 
     def _warm_caches(self, warmup: Trace) -> None:
         """Replay a trace through the cache hierarchy without timing."""
@@ -169,17 +200,26 @@ class SharingSimulator:
         Also brings the code footprint to steady state: looping code is
         L1I-resident after the first iteration, so the timed region's own
         PC stream is replayed through each Slice's I-cache and the L2.
+
+        This loop streams millions of addresses for cache-hungry
+        profiles, so the per-access lookups are hoisted out of it.
         """
         vcore = self.vcore
+        num_slices = vcore.num_slices
+        line_size = vcore.lsq.line_size  # home_slice(), inlined
+        l1d_access = [ctx.hierarchy.l1d.access for ctx in vcore.slices]
+        l1i_access = [ctx.l1i.access for ctx in vcore.slices]
+        l2_access = vcore.l2.access
+        fetch_width = self.config.slice_config.fetch_width
         for address in addresses:
-            home = vcore.lsq.home_slice(address)
-            l1 = vcore.slices[home].hierarchy.l1d
-            if not l1.access(address).hit:
-                vcore.l2.access(address)
+            home = (address // line_size) % num_slices
+            if not l1d_access[home](address).hit:
+                l2_access(address)
         for inst in self.trace:
-            sid = vcore.slice_for_fetch(inst.pc)
-            if not vcore.slices[sid].l1i.access(inst.pc * 4).hit:
-                vcore.l2.access(inst.pc * 4)
+            pc = inst.pc
+            sid = (pc // fetch_width) % num_slices
+            if not l1i_access[sid](pc * 4).hit:
+                l2_access(pc * 4)
         for ctx in vcore.slices:
             ctx.hierarchy.l1d.reset_counters()
             ctx.l1i.reset_counters()
@@ -191,16 +231,12 @@ class SharingSimulator:
     # ==================================================================
 
     def run(self) -> SimResult:
-        """Simulate until the whole trace commits."""
-        total = len(self.trace)
-        max_cycles = self.config.max_cycles
-        while self.stats.committed < total:
-            if self._now >= max_cycles:
-                raise SimulationTimeout(
-                    f"{self.stats.committed}/{total} committed after "
-                    f"{self._now} cycles"
-                )
-            self._step()
+        """Simulate until the rest of the trace commits.
+
+        Instructions already functionally fast-forwarded count as
+        retired, not committed, so the commit target excludes them.
+        """
+        self.run_to_commit(len(self.trace) - self.ff_retired)
         self._harvest_cache_stats()
         return SimResult(
             benchmark=self.trace.metadata.benchmark,
@@ -208,6 +244,116 @@ class SharingSimulator:
             l2_cache_kb=self.vcore.l2_cache_kb,
             stats=self.stats,
         )
+
+    def run_to_commit(self, target: int) -> None:
+        """Step the detailed model until ``target`` instructions committed.
+
+        ``target`` counts detailed commits only (fast-forwarded
+        instructions are excluded); the sampled simulator uses this to
+        run one bounded detail window at a time.
+        """
+        max_cycles = self.config.max_cycles
+        stats = self.stats
+        step = self._step
+        while stats.committed < target:
+            if self._now >= max_cycles:
+                raise SimulationTimeout(
+                    f"{stats.committed}/{target} committed after "
+                    f"{self._now} cycles"
+                )
+            step()
+
+    # ==================================================================
+    # functional fast-forward (sampled simulation)
+    # ==================================================================
+
+    def fast_forward(self, count: int) -> int:
+        """Retire the next ``count`` instructions functionally.
+
+        No scheduling machinery runs and no cycles elapse; caches (L1I,
+        L1D, L2), the branch predictors/BTBs and the store state stay
+        warm exactly as the paper's fast-forward phase would leave them.
+        The pipeline must be drained (every fetched instruction
+        committed) before skipping ahead.  Returns the number of
+        instructions actually fast-forwarded (clipped at trace end).
+
+        ``self.stats`` is untouched: fast-forwarded instructions are
+        accounted separately in :attr:`ff_retired`, and the component
+        counters they advance (cache hits/misses, predictor training)
+        are excluded by the sampled estimator's per-window deltas.
+        """
+        self._require_drained()
+        from repro.trace.materialize import (
+            FLAG_BRANCH, FLAG_STORE, FLAG_TAKEN, materialize,
+        )
+
+        arrays = materialize(self.trace)
+        start = self._fetch_ptr
+        stop = min(start + count, len(self.trace))
+        if stop <= start:
+            return 0
+
+        pcs = arrays.pcs
+        mem_addrs = arrays.mem_addrs
+        flags = arrays.flags
+        targets = arrays.targets
+        vcore = self.vcore
+        slices = self._slices
+        num_slices = vcore.num_slices
+        fetch_width = self._fetch_width
+        by_pc = self.config.fetch_assignment == "pc"
+        l2_access = vcore.l2.access
+        home_slice = vcore.lsq.home_slice
+        l1i = [ctx.l1i for ctx in slices]
+        l1d = [ctx.hierarchy.l1d for ctx in slices]
+        branch_units = [ctx.branch_unit for ctx in slices]
+        # Detailed fetch runs a next-line prefetch on every L1I access
+        # (see _icache_fetch); skipping it here would hand the next
+        # detailed window a prefetch-cold I-cache and bias its CPI up.
+        prefetch_stride = 2 * 4 * num_slices
+
+        for seq in range(start, stop):
+            pc = pcs[seq]
+            if by_pc:
+                sid = (pc // fetch_width) % num_slices
+            else:
+                sid = (seq // fetch_width) % num_slices
+            address = pc * 4
+            cache = l1i[sid]
+            if not cache.access(address).hit:
+                l2_access(address)
+            cache.prefetch(address + prefetch_stride)
+            bits = flags[seq]
+            if bits:
+                if bits & FLAG_BRANCH:
+                    taken = bool(bits & FLAG_TAKEN)
+                    target = targets[seq]
+                    unit = branch_units[sid]
+                    unit.resolve(pc, taken,
+                                 target if target >= 0 else None,
+                                 unit.predict(pc))
+                else:
+                    address = mem_addrs[seq]
+                    is_store = bool(bits & FLAG_STORE)
+                    home = home_slice(address)
+                    if not l1d[home].access(address,
+                                            is_write=is_store).hit:
+                        l2_access(address, is_write=is_store)
+        retired = stop - start
+        self._fetch_ptr = stop
+        self._next_dispatch_seq = stop
+        self.ff_retired += retired
+        return retired
+
+    def _require_drained(self) -> None:
+        """Fast-forward is only legal between fully drained windows."""
+        if (self._decode_queue or len(self.vcore.rob)
+                or self._unresolved_stores
+                or self._blocking_branch is not None):
+            raise RuntimeError(
+                "cannot fast-forward with instructions in flight; run "
+                "the detailed window to completion first"
+            )
 
     # ==================================================================
     # one cycle
@@ -220,9 +366,9 @@ class SharingSimulator:
         self._issue_stage(now)
         self._dispatch_stage(now)
         self._fetch_stage(now)
-        for ctx in self.vcore.slices:
-            ctx.hierarchy.tick(now)
-        self._now += 1
+        for hierarchy in self._hierarchies:
+            hierarchy.tick(now)
+        self._now = now + 1
         self.stats.cycles = self._now
 
     # ------------------------------------------------------------------
@@ -230,9 +376,10 @@ class SharingSimulator:
     # ------------------------------------------------------------------
 
     def _complete_stage(self, now: int) -> None:
-        q = self._completion_q
-        while q and q[0][0] <= now:
-            _, _, dyn = heapq.heappop(q)
+        batch = self._completion_buckets.pop(now, None)
+        if batch is None:
+            return
+        for dyn in batch:
             if dyn.squashed:
                 continue
             self._on_complete(dyn, dyn.complete_cycle)
@@ -246,8 +393,7 @@ class SharingSimulator:
         """
         if self.config.fetch_assignment == "pc":
             return self.vcore.slice_for_fetch(pc)
-        width = self.config.slice_config.fetch_width
-        return (seq // width) % self.vcore.num_slices
+        return (seq // self._fetch_width) % self.vcore.num_slices
 
     def _on_complete(self, dyn: DynInst, t: int) -> None:
         self._unresolved_stores.discard(dyn.seq)
@@ -318,8 +464,7 @@ class SharingSimulator:
     # ------------------------------------------------------------------
 
     def _commit_stage(self, now: int) -> None:
-        budget = (self.config.slice_config.commit_width
-                  * self.vcore.num_slices)
+        budget = self._commit_budget
         while budget > 0:
             head = self.vcore.rob.commit_eligible(now)
             if head is None:
@@ -385,20 +530,22 @@ class SharingSimulator:
     def _issue_stage(self, now: int) -> None:
         rob_head = self.vcore.rob.head()
         head_seq = rob_head.seq if rob_head else -1
-        for ctx in self.vcore.slices:
+        self._issue_head_seq = head_seq
+        mem_predicate = self._mem_can_issue_bound
+        for ctx in self._slices:
             alu, mem = ctx.issue_stage.issue_cycle_picks(
-                now, mem_predicate=lambda d: self._mem_can_issue(d, head_seq)
+                now, mem_predicate=mem_predicate
             )
             if alu is not None:
                 self._execute_alu(alu, now)
             if mem is not None:
                 self._execute_mem(mem, now, force_lsq=(mem.seq == head_seq))
 
-    def _mem_can_issue(self, dyn: DynInst, head_seq: int) -> bool:
+    def _mem_can_issue(self, dyn: DynInst) -> bool:
         inst = dyn.inst
         assert inst.mem is not None
         bank = self.vcore.lsq.bank_for(inst.mem.address)
-        if bank.full and dyn.seq != head_seq:
+        if bank.full and dyn.seq != self._issue_head_seq:
             self.stats.stalls.issue_lsq_full += 1
             return False
         if (self.config.ordered_lsq and inst.is_load
@@ -409,7 +556,7 @@ class SharingSimulator:
 
     def _execute_alu(self, dyn: DynInst, now: int) -> None:
         dyn.issue_cycle = now
-        latency = (self.config.slice_config.mul_latency
+        latency = (self._mul_latency
                    if dyn.op_class is OpClass.MUL else 1)
         dyn.complete_cycle = now + latency
         self._schedule_completion(dyn)
@@ -466,17 +613,28 @@ class SharingSimulator:
         self._schedule_completion(dyn)
 
     def _schedule_completion(self, dyn: DynInst) -> None:
-        heapq.heappush(
-            self._completion_q,
-            (dyn.complete_cycle, next(self._tiebreak), dyn),
-        )
+        # Completions scheduled for the past or present are processed on
+        # the *next* cycle's complete stage (the heap this replaces popped
+        # entries with cycle <= now at the top of the following step), so
+        # bucket them at max(complete_cycle, now + 1).
+        cycle = dyn.complete_cycle
+        now_next = self._now + 1
+        if cycle < now_next:
+            cycle = now_next
+        bucket = self._completion_buckets.get(cycle)
+        if bucket is None:
+            self._completion_buckets[cycle] = [dyn]
+        else:
+            bucket.append(dyn)
 
     # ------------------------------------------------------------------
     # rename + dispatch
     # ------------------------------------------------------------------
 
     def _dispatch_stage(self, now: int) -> None:
-        quotas = [self.config.slice_config.fetch_width] * self.vcore.num_slices
+        if not self._decode_queue:
+            return
+        quotas = [self._fetch_width] * self.vcore.num_slices
         while True:
             dyn = self._peek_dispatch()
             if dyn is None:
@@ -585,25 +743,25 @@ class SharingSimulator:
         if now < self._fetch_stall_until:
             self.stats.stalls.fetch_branch_redirect += 1
             return
-        quotas = [self.config.slice_config.fetch_width] * self.vcore.num_slices
-        buffer_cap = self.config.slice_config.instruction_buffer_size
-        while self._fetch_ptr < len(self.trace):
+        quotas = [self._fetch_width] * self.vcore.num_slices
+        buffer_cap = self._buffer_cap
+        buf_count = self._buf_count
+        trace = self.trace
+        while self._fetch_ptr < self._fetch_limit:
             seq = self._fetch_ptr
-            inst = self.trace[seq]
+            inst = trace[seq]
             sid = self._slice_for(seq, inst.pc)
             if quotas[sid] <= 0:
                 break
-            ctx = self.vcore.slices[sid]
-            if self._buf_count[sid] >= buffer_cap:
+            ctx = self._slices[sid]
+            if buf_count[sid] >= buffer_cap:
                 self.stats.stalls.fetch_buffer_full += 1
                 break
             if not self._icache_fetch(ctx, inst, now):
                 self.stats.stalls.fetch_icache += 1
                 break
             dyn = DynInst(inst=inst, slice_id=sid, fetch_cycle=now)
-            dyn.rename_cycle = (
-                now + self.config.frontend_depth + self._rename_depth
-            )
+            dyn.rename_cycle = now + self._decode_latency
             self._decode_queue.append(dyn)
             self._buf_count[sid] += 1
             self.stats.fetched += 1

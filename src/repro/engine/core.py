@@ -31,7 +31,7 @@ import time
 import traceback as _traceback
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeout
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import (
     Any, Dict, Iterable, List, Optional, Sequence, Tuple,
 )
@@ -100,13 +100,16 @@ def _norm_market(market: Any) -> Tuple[str, float, float, float]:
 @dataclass(frozen=True)
 class WorkUnit:
     """One schedulable evaluation: a config grid for one benchmark
-    (optionally under one utility function in one market).
+    (optionally under one utility function in one market, or through
+    the cycle-level simulator for ``kind="simulation"``).
 
-    All fields are primitives, so units pickle cheaply to workers and
-    hash deterministically into cache keys.
+    All fields are primitives (plus the frozen, picklable
+    :class:`~repro.core.config.SimConfig` for simulation units), so
+    units pickle cheaply to workers and hash deterministically into
+    cache keys.
     """
 
-    kind: str  # "performance" | "utility"
+    kind: str  # "performance" | "utility" | "simulation"
     profile_fields: Tuple[Tuple[str, Any], ...]
     cache_grid: Tuple[float, ...]
     slice_grid: Tuple[int, ...]
@@ -114,6 +117,14 @@ class WorkUnit:
     utility: Optional[Tuple[str, float]] = None
     market: Optional[Tuple[str, float, float, float]] = None
     budget: float = 0.0
+    #: Simulation-unit parameters; inert for analytic kinds.
+    trace_length: int = 0
+    trace_seed: int = 1
+    sim_config: Any = None  # Optional[SimConfig]
+    #: ``SamplingConfig.key_fields()`` as a sorted item tuple; ``None``
+    #: runs exact.  Part of the cache key, so sampled and exact results
+    #: can never alias.
+    sampling: Optional[Tuple[Tuple[str, Any], ...]] = None
 
     @property
     def benchmark(self) -> str:
@@ -125,12 +136,24 @@ class WorkUnit:
 
     def result_key(self) -> KindKey:
         """How this unit's grid is addressed in a :class:`SweepResult`."""
-        if self.kind == "performance":
+        if self.kind in ("performance", "simulation"):
             return (self.benchmark,)
         return (self.benchmark, self.utility[0], self.market[0])
 
     def key_fields(self) -> Dict[str, Any]:
-        """The full content-address basis for the on-disk cache."""
+        """The full content-address basis for the on-disk cache.
+
+        Every result-affecting field is present *unconditionally* (the
+        simulation fields hold inert defaults for analytic kinds), and
+        the :class:`SimConfig` enters via :meth:`SimConfig.fingerprint`
+        - a recursive walk over its dataclass fields - so a config knob
+        added later cannot silently alias cache entries.
+        """
+        from repro.core.config import SimConfig
+
+        sim_config = self.sim_config
+        if sim_config is None and self.kind == "simulation":
+            sim_config = SimConfig()
         return {
             "kind": self.kind,
             "profile": list(self.profile_fields),
@@ -140,6 +163,12 @@ class WorkUnit:
             "utility": list(self.utility) if self.utility else None,
             "market": list(self.market) if self.market else None,
             "budget": self.budget,
+            "trace_length": self.trace_length,
+            "trace_seed": self.trace_seed,
+            "sim_config": (sim_config.fingerprint()
+                           if sim_config is not None else None),
+            "sampling": (list(self.sampling)
+                         if self.sampling is not None else None),
         }
 
     def cache_key(self) -> str:
@@ -159,6 +188,12 @@ class SweepSpec:
     utilities: Tuple[Any, ...] = ()
     markets: Tuple[Any, ...] = ()
     budget: float = 0.0
+    #: Evaluate through the cycle-level simulator instead of the
+    #: analytic model ("simulation" work units).
+    simulate: bool = False
+    trace_length: int = 4000
+    trace_seed: int = 1
+    sim_config: Any = None  # Optional[SimConfig]
 
     def expand(self, model: Optional[AnalyticModel] = None
                ) -> List[WorkUnit]:
@@ -169,6 +204,20 @@ class SweepSpec:
         units: List[WorkUnit] = []
         for bench in self.benchmarks:
             fields = profile_key(bench)
+            if self.simulate:
+                # Analytic calibration cannot affect a simulation; keep
+                # it out of the key so model tweaks don't cold the cache.
+                units.append(WorkUnit(
+                    kind="simulation",
+                    profile_fields=fields,
+                    cache_grid=cache_grid,
+                    slice_grid=slice_grid,
+                    calibration=(),
+                    trace_length=int(self.trace_length),
+                    trace_seed=int(self.trace_seed),
+                    sim_config=self.sim_config,
+                ))
+                continue
             if not self.utilities and not self.markets:
                 units.append(WorkUnit(
                     kind="performance",
@@ -210,17 +259,51 @@ def evaluate_unit(unit: WorkUnit) -> List[List[float]]:
     """
     fields = dict(unit.profile_fields)
     profile = BenchmarkProfile(**fields)
-    calibration = dict(unit.calibration)
-    model = AnalyticModel(
-        comm_tolerance=calibration["comm_tolerance"],
-        mlp_per_slice=calibration["mlp_per_slice"],
-    )
+
+    def _model() -> AnalyticModel:
+        # Simulation units carry an empty calibration on purpose (the
+        # analytic model cannot affect them); only analytic kinds may
+        # build the model from it.
+        calibration = dict(unit.calibration)
+        return AnalyticModel(
+            comm_tolerance=calibration["comm_tolerance"],
+            mlp_per_slice=calibration["mlp_per_slice"],
+        )
+
     if unit.kind == "performance":
+        model = _model()
         return [
             [c, s, model.performance(profile, c, s)]
             for c in unit.cache_grid
             for s in unit.slice_grid
         ]
+    if unit.kind == "simulation":
+        # Lazy imports: analytic sweeps must not pay for the simulator.
+        from repro.core.simulator import simulate
+        from repro.sampling import SamplingConfig, simulate_sampled
+        from repro.trace.materialize import get_workload
+
+        sampling = (SamplingConfig(**dict(unit.sampling))
+                    if unit.sampling is not None else None)
+        rows = []
+        for c in unit.cache_grid:
+            for s in unit.slice_grid:
+                # Served from the process-local workload LRU, so every
+                # grid point of this unit (and later units for the same
+                # profile in this worker) reuses one generated trace.
+                warmup, trace = get_workload(
+                    profile, unit.trace_length, unit.trace_seed)
+                if sampling is not None:
+                    result = simulate_sampled(
+                        trace, num_slices=int(s), l2_cache_kb=float(c),
+                        sampling=sampling, config=unit.sim_config,
+                        warmup_addresses=warmup)
+                else:
+                    result = simulate(
+                        trace, num_slices=int(s), l2_cache_kb=float(c),
+                        config=unit.sim_config, warmup_addresses=warmup)
+                rows.append([c, s, result.ipc])
+        return rows
     if unit.kind == "utility":
         # Import lazily so the engine has no load-time economics
         # dependency (economics imports the engine).
@@ -232,6 +315,7 @@ def evaluate_unit(unit: WorkUnit) -> List[List[float]]:
         utility = UtilityFunction(name=uname, perf_exponent=exponent)
         market = Market(name=mname, slice_price=slice_price,
                         bank_price=bank_price, fixed_cost=fixed_cost)
+        model = _model()
         rows = []
         for c in unit.cache_grid:
             for s in unit.slice_grid:
@@ -310,7 +394,8 @@ class SweepEngine:
                  parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD,
                  metrics: Optional[EngineMetrics] = None,
                  obs: Optional[Observability] = None,
-                 timeout_s: Optional[float] = None):
+                 timeout_s: Optional[float] = None,
+                 sampling: Any = None):
         if jobs is not None and jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
@@ -319,6 +404,10 @@ class SweepEngine:
         self.metrics = metrics if metrics is not None else EngineMetrics()
         self.obs = obs if obs is not None else OBS_OFF
         self.timeout_s = timeout_s
+        #: Optional :class:`~repro.sampling.SamplingConfig` applied to
+        #: every simulation work unit this engine schedules.  ``None``
+        #: keeps simulation units exact (the default for golden paths).
+        self.sampling = sampling
         # Pre-bound instruments: null objects when obs is off, so the
         # hot scheduling loop never branches on enablement.
         scope = self.obs.scope("engine")
@@ -348,6 +437,14 @@ class SweepEngine:
         start = time.perf_counter()
         sweep_start_us = now_us()
         units = spec.expand(model)
+        if self.sampling is not None:
+            sampling_key = tuple(sorted(self.sampling.key_fields().items()))
+            units = [
+                replace(unit, sampling=sampling_key)
+                if unit.kind == "simulation" and unit.sampling is None
+                else unit
+                for unit in units
+            ]
         results: Dict[WorkUnit, List[List[float]]] = {}
         pending: List[WorkUnit] = []
         stats: List[UnitStat] = []
@@ -565,6 +662,29 @@ class SweepEngine:
                 budget=budget,
             ),
             model=model,
+        )
+
+    def simulation_map(self, benchmarks: Sequence[ProfileLike],
+                       cache_grid: Sequence[float],
+                       slice_grid: Sequence[int],
+                       trace_length: int, trace_seed: int = 1,
+                       sim_config: Any = None) -> SweepResult:
+        """Cycle-level ``IPC(c, s)`` grids for several benchmarks.
+
+        Runs the simulator (sampled when the engine was built with
+        ``sampling=...``, exact otherwise) per grid point, cached and
+        fanned out exactly like analytic sweeps.
+        """
+        return self.run(
+            SweepSpec(
+                benchmarks=tuple(benchmarks),
+                cache_grid=tuple(cache_grid),
+                slice_grid=tuple(slice_grid),
+                simulate=True,
+                trace_length=trace_length,
+                trace_seed=trace_seed,
+                sim_config=sim_config,
+            )
         )
 
     def grid_model(self, cache_grid: Sequence[float] = CACHE_GRID_KB,

@@ -13,6 +13,11 @@ paper's presentation order.  Flags:
                       (implies ``--obs``; open in ui.perfetto.dev)
 ``--metrics-out PATH``  write run metrics (+ obs snapshot) as JSON
 ``--timeout S``       per-sweep wall-clock bound for pool fan-outs
+``--sampling``        interval-sampled simulation for simulation sweeps
+                      (``--exact``, the default, keeps golden paths
+                      bit-identical)
+``--profile``         wrap the run in cProfile; writes a pstats dump
+                      next to ``--metrics-out`` (see README "Profiling")
 
 Every experiment goes through the same path: ``module.run(engine=...)``
 returns a frozen :class:`~repro.experiments.base.ExperimentResult`,
@@ -106,16 +111,66 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--timeout", type=float, default=None, metavar="S",
                         help="per-sweep wall-clock bound for parallel "
                              "fan-outs (seconds)")
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument("--sampling", action="store_true",
+                      help="interval-sampled simulation for simulation "
+                           "sweeps (bounded, reported IPC error)")
+    mode.add_argument("--exact", action="store_true",
+                      help="exact cycle-level simulation (default; "
+                           "golden/bit-identity paths)")
+    parser.add_argument("--profile", action="store_true",
+                        help="wrap the run in cProfile and write a "
+                             "pstats dump next to --metrics-out "
+                             "(default runner_profile.pstats)")
     return parser
+
+
+def profile_dump_path(metrics_out: Optional[str]) -> str:
+    """Where ``--profile`` writes its pstats dump.
+
+    Lands next to ``--metrics-out`` (same directory, ``.pstats``
+    suffix), or in the working directory without one.
+    """
+    import os.path
+
+    if metrics_out:
+        base, _ = os.path.splitext(metrics_out)
+        return base + ".pstats"
+    return "runner_profile.pstats"
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.profile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            return _run(args)
+        finally:
+            profiler.disable()
+            path = profile_dump_path(args.metrics_out)
+            pstats.Stats(profiler).dump_stats(path)
+            print(f"wrote {path} (inspect: python -m pstats {path}, "
+                  "or snakeviz)")
+    return _run(args)
+
+
+def _run(args) -> int:
     cache = ResultCache(root=args.cache_dir, enabled=not args.no_cache)
     obs = (Observability(trace=args.trace is not None)
            if (args.obs or args.trace is not None) else OBS_OFF)
+    sampling = None
+    if args.sampling:
+        from repro.sampling import DEFAULT_SAMPLING
+        sampling = DEFAULT_SAMPLING
     engine = SweepEngine(jobs=args.jobs, cache=cache, obs=obs,
-                         timeout_s=args.timeout)
+                         timeout_s=args.timeout, sampling=sampling)
+    if obs is not OBS_OFF:
+        from repro.trace import materialize
+        materialize.attach_obs(obs.scope("trace.workload_lru"))
     run_metrics = RunMetrics(engine=engine, obs=obs)
 
     selected = [

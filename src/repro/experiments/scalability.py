@@ -19,7 +19,6 @@ from typing import Dict, Optional, Sequence, Tuple
 from repro.core.simulator import simulate
 from repro.experiments.base import ExperimentResult
 from repro.perfmodel.model import AnalyticModel, SLICE_GRID
-from repro.trace.generator import make_workload
 from repro.trace.profiles import all_benchmarks
 
 NAME = "scalability"
@@ -79,9 +78,42 @@ def run(benchmarks: Optional[Sequence[str]] = None,
 def run_simulated(benchmark: str = "gcc",
                   slice_grid: Sequence[int] = (1, 2, 4, 8),
                   trace_length: int = 4000,
-                  seed: int = 1) -> Dict[int, float]:
-    """Cycle-level anchor points for one benchmark."""
-    warmup, trace = make_workload(benchmark, trace_length, seed=seed)
+                  seed: int = 1,
+                  sampling=None,
+                  engine=None) -> Dict[int, float]:
+    """Cycle-level anchor points for one benchmark.
+
+    ``sampling`` (a :class:`~repro.sampling.SamplingConfig`) switches
+    the sweep to interval-sampled simulation; ``engine`` routes the
+    points through a :class:`~repro.engine.SweepEngine` (cached,
+    fanned out), in which case the engine's own ``sampling`` setting
+    applies unless overridden here.
+    """
+    slice_grid = tuple(int(s) for s in slice_grid)
+    if engine is not None:
+        if sampling is not None and engine.sampling is None:
+            engine.sampling = sampling
+        sweep = engine.simulation_map(
+            [benchmark], cache_grid=(BASELINE_CACHE_KB,),
+            slice_grid=slice_grid, trace_length=trace_length,
+            trace_seed=seed)
+        grid = sweep.grid(benchmark)
+        ipcs = {s: grid[(BASELINE_CACHE_KB, s)] for s in slice_grid}
+        base = ipcs[slice_grid[0]]
+        return {s: ipc / base for s, ipc in ipcs.items()}
+    from repro.trace.materialize import get_workload
+    warmup, trace = get_workload(benchmark, trace_length, seed)
+    if sampling is not None:
+        from repro.sampling import simulate_sampled
+        results = {
+            s: simulate_sampled(trace, num_slices=s,
+                                l2_cache_kb=BASELINE_CACHE_KB,
+                                sampling=sampling,
+                                warmup_addresses=warmup)
+            for s in slice_grid
+        }
+        base = results[slice_grid[0]].ipc
+        return {s: r.ipc / base for s, r in results.items()}
     cycles = {
         s: simulate(trace, num_slices=s, l2_cache_kb=BASELINE_CACHE_KB,
                     warmup_addresses=warmup).cycles

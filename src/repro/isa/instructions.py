@@ -9,6 +9,7 @@ from full-system GEM5 traces, Section 5.2).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Optional, Tuple
 
 from repro.isa.opcodes import OPCODE_CLASS, OpClass, Opcode
@@ -78,27 +79,33 @@ class Instruction:
         if self.dst is not None and self.dst < 0:
             raise ValueError("negative destination register")
 
-    @property
+    # The class tests below sit on the simulator's per-cycle paths
+    # (fetch, dispatch, commit all branch on them), so they are cached
+    # per instance rather than recomputed through the opcode table.
+    # ``cached_property`` writes into ``__dict__`` directly, which is
+    # legal even on a frozen dataclass and invisible to field equality.
+
+    @cached_property
     def op_class(self) -> OpClass:
         return OPCODE_CLASS[self.opcode]
 
-    @property
+    @cached_property
     def is_branch(self) -> bool:
         return self.op_class is OpClass.BRANCH
 
-    @property
+    @cached_property
     def is_load(self) -> bool:
         return self.op_class is OpClass.LOAD
 
-    @property
+    @cached_property
     def is_store(self) -> bool:
         return self.op_class is OpClass.STORE
 
-    @property
+    @cached_property
     def is_mem(self) -> bool:
         return self.op_class.is_memory
 
-    @property
+    @cached_property
     def writes_register(self) -> bool:
         return self.dst is not None and self.dst != ZERO_REG
 

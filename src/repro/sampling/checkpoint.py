@@ -1,0 +1,99 @@
+"""Micro-architectural checkpoints for sampled simulation.
+
+A :class:`Checkpoint` snapshots the *warm* state of a drained
+:class:`~repro.core.simulator.SharingSimulator` - caches, branch
+predictors/BTBs, store buffers, LSQ/L2 counters, rename state - plus the
+trace cursor and accumulated statistics.  Restoring rewinds the
+simulator to that point, so a warmed position in the trace can be
+re-simulated under several measurement schedules (or simply replayed)
+without paying the functional fast-forward again.
+
+Checkpoints only capture drained pipelines (no instructions in flight):
+transient per-cycle state (decode queue, completion events, wakeup
+lists) is empty by construction, which keeps the snapshot a pure
+deep-copy of the structural components.
+
+Snapshots share the immutable pieces (trace, config) with the live
+simulator and are themselves immutable: ``restore`` copies the saved
+state *again* into the simulator, so one checkpoint can be restored any
+number of times.  Observability gauges attached before ``capture``
+keep reading the live simulator's current components - re-attach after
+a restore if gauge continuity matters.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Dict
+
+from repro.core.simulator import SharingSimulator
+
+
+class Checkpoint:
+    """One restorable snapshot of a drained simulator."""
+
+    def __init__(self, vcore: Any, scalars: Dict[str, Any], stats: Any):
+        self._vcore = vcore
+        self._scalars = scalars
+        self._stats = stats
+
+    @property
+    def position(self) -> int:
+        """Trace position (next instruction to fetch) at capture time."""
+        return self._scalars["_fetch_ptr"]
+
+    @property
+    def cycle(self) -> int:
+        """Simulated cycle at capture time."""
+        return self._scalars["_now"]
+
+    @classmethod
+    def capture(cls, sim: SharingSimulator) -> "Checkpoint":
+        """Snapshot ``sim``; requires a drained pipeline."""
+        sim._require_drained()
+        memo = cls._shared_memo(sim)
+        vcore = copy.deepcopy(sim.vcore, memo)
+        scalars = {
+            "_now": sim._now,
+            "_fetch_ptr": sim._fetch_ptr,
+            "_fetch_limit": sim._fetch_limit,
+            "_fetch_stall_until": sim._fetch_stall_until,
+            "_next_dispatch_seq": sim._next_dispatch_seq,
+            "ff_retired": sim.ff_retired,
+        }
+        return cls(vcore, scalars, copy.deepcopy(sim.stats))
+
+    def restore(self, sim: SharingSimulator) -> None:
+        """Rewind ``sim`` to this snapshot (reusable)."""
+        memo = self._shared_memo(sim)
+        sim.vcore = copy.deepcopy(self._vcore, memo)
+        sim.stats = copy.deepcopy(self._stats)
+        for name, value in self._scalars.items():
+            setattr(sim, name, value)
+        # Transient pipeline state is empty at capture by contract.
+        sim._decode_queue.clear()
+        sim._completion_buckets.clear()
+        sim._producer_of.clear()
+        sim._unresolved_stores.clear()
+        sim._blocking_branch = None
+        sim._buf_count = [0] * sim.vcore.num_slices
+        # Rebind the hot-loop hoists onto the restored components.
+        sim._slices = sim.vcore.slices
+        sim._hierarchies = [ctx.hierarchy for ctx in sim._slices]
+        sim._issue_head_seq = -1
+
+    @staticmethod
+    def _shared_memo(sim: SharingSimulator) -> Dict[int, Any]:
+        """Deepcopy memo: share immutable/external objects, never copy.
+
+        The config is frozen, and the switched networks hold a tracer
+        reference that belongs to the session's observability - both
+        must be shared across snapshots, not duplicated.
+        """
+        memo: Dict[int, Any] = {id(sim.config): sim.config}
+        for net in (sim.vcore.operand_network, sim.vcore.ls_network,
+                    sim.vcore.rename_network):
+            tracer = getattr(net, "_tracer", None)
+            if tracer is not None:
+                memo[id(tracer)] = tracer
+        return memo

@@ -1,0 +1,271 @@
+"""Sampled simulation: fast-forward + detailed windows + extrapolation.
+
+:class:`SampledSimulator` wraps one :class:`SharingSimulator` and
+alternates between functional fast-forward (caches/predictors/store
+state warm, zero timed cycles) and bounded detailed windows planned by a
+:class:`~repro.sampling.policy.SamplingPolicy`.  Each window's warmup
+prefix re-times the pipeline and is discarded; the measured suffix
+contributes one per-interval CPI observation.
+
+The run reports an extrapolated :class:`SimResult`:
+
+* ``stats.cycles`` is ``total_instructions * mean(CPI_i)``; event
+  counters observed only inside detailed windows (fetch, branches,
+  stalls, L1I, operand traffic) are scaled to full-trace magnitude.
+* ``l1d``/``l2`` counters are **not** extrapolated: fast-forward streams
+  every memory access and every PC through the hierarchy, so those miss
+  counts - and hence the reported miss *rates* - cover the entire trace
+  exactly.
+* ``ipc_ci`` is the ``z * s / sqrt(n)`` confidence interval on IPC from
+  the per-window CPI variance, widened to the policy's systematic
+  ``bias_floor`` (statistics cannot see warmup bias, so the interval is
+  never reported narrower than that floor).
+
+A schedule that plans too few windows (short traces) degenerates to the
+exact simulator: ``run()`` then returns a plain exact result.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.config import SimConfig
+from repro.core.simulator import SharingSimulator, SimResult
+from repro.core.stats import SimStats, StallBreakdown
+from repro.obs import Observability
+from repro.sampling.policy import (
+    DEFAULT_SAMPLING, SamplingConfig, SamplingPolicy, Schedule,
+)
+from repro.trace.records import Trace
+
+
+@dataclass(frozen=True)
+class SamplingSummary:
+    """What a sampled run actually did, attached to ``SimResult``."""
+
+    windows: int
+    measured_instructions: int
+    detailed_instructions: int
+    fast_forwarded: int
+    total_instructions: int
+    head_instructions: int
+    cpi_mean: float
+    cpi_std: float
+    ipc_estimate: float
+    ci_halfwidth: float
+
+    @property
+    def detail_fraction(self) -> float:
+        if not self.total_instructions:
+            return 1.0
+        return self.detailed_instructions / self.total_instructions
+
+    @property
+    def relative_error(self) -> float:
+        """Reported CI half-width as a fraction of the IPC estimate."""
+        if not self.ipc_estimate:
+            return 0.0
+        return self.ci_halfwidth / self.ipc_estimate
+
+
+class SampledSimulator:
+    """Run one trace under interval sampling on one VCore configuration.
+
+    Accepts the same construction keywords as
+    :class:`~repro.core.simulator.SharingSimulator` plus the sampling
+    policy; ``phase_lengths`` (instruction counts, in order) switches
+    the policy to per-phase stratification.
+    """
+
+    def __init__(self, trace: Trace, config: Optional[SimConfig] = None,
+                 sampling: SamplingConfig = DEFAULT_SAMPLING,
+                 num_slices: Optional[int] = None,
+                 l2_cache_kb: Optional[float] = None,
+                 warmup_trace: Optional[Trace] = None,
+                 warmup_addresses: Optional[Sequence[int]] = None,
+                 timeout: Optional[int] = None,
+                 obs: Optional[Observability] = None,
+                 phase_lengths: Optional[Sequence[int]] = None):
+        self.sim = SharingSimulator(
+            trace, config=config, num_slices=num_slices,
+            l2_cache_kb=l2_cache_kb, warmup_trace=warmup_trace,
+            warmup_addresses=warmup_addresses, timeout=timeout, obs=obs,
+        )
+        self.sampling = sampling
+        policy = SamplingPolicy(sampling)
+        if phase_lengths is not None:
+            self.schedule: Schedule = policy.plan_phases(phase_lengths)
+        else:
+            self.schedule = policy.plan(len(trace))
+
+    def run(self) -> SimResult:
+        sim = self.sim
+        if self.schedule.exact:
+            return sim.run()
+
+        obs = sim.obs
+        if obs.enabled:
+            scope = obs.registry.scope("sampling")
+            schedule = self.schedule
+            scope.info("interval", self.sampling.interval)
+            scope.gauge("windows", lambda: len(schedule.windows))
+            scope.gauge("head_instructions", lambda: schedule.head)
+            scope.gauge("fast_forwarded", lambda: sim.ff_retired)
+            scope.gauge("detailed_committed",
+                        lambda: sim.stats.committed)
+
+        total = len(sim.trace)
+        cpis: List[float] = []
+        position = 0
+        head_cycles = 0
+        head = self.schedule.head
+        if head:
+            # Exhaustively-measured cold-start stratum: its 2-3x CPI
+            # transient would otherwise dominate the estimator's error.
+            sim._fetch_limit = head
+            sim.run_to_commit(head)
+            head_cycles = sim._now
+            position = head
+        for window in self.schedule.windows:
+            if window.start > position:
+                sim.fast_forward(window.start - position)
+            committed_base = sim.stats.committed
+            sim._fetch_limit = window.end
+            # Warmup prefix: detailed, not measured.  Commit can
+            # overshoot the warmup boundary by up to one cycle's commit
+            # width, so measure against the *observed* counts.
+            sim.run_to_commit(committed_base + window.warmup)
+            cycles_0 = sim._now
+            committed_0 = sim.stats.committed
+            sim.run_to_commit(committed_base + len(window))
+            measured = sim.stats.committed - committed_0
+            cpis.append((sim._now - cycles_0) / measured)
+            position = window.end
+        if position < total:
+            sim.fast_forward(total - position)
+
+        sim._harvest_cache_stats()
+        return self._extrapolate(cpis, head_cycles)
+
+    # ------------------------------------------------------------------
+    # estimation
+    # ------------------------------------------------------------------
+
+    def _extrapolate(self, cpis: List[float],
+                     head_cycles: int = 0) -> SimResult:
+        """Two-stratum estimator: exact head cycles + sampled tail CPI.
+
+        ``total_cycles ~= head_cycles + tail_insts * mean(CPI_i)``; all
+        statistical uncertainty lives in the tail term, so the CI is the
+        per-window CPI variance propagated through the tail only.
+        """
+        sim = self.sim
+        cfg = self.sampling
+        total = len(sim.trace)
+        head = self.schedule.head
+        tail = total - head
+        n = len(cpis)
+        cpi_mean = sum(cpis) / n
+        if n > 1:
+            var = sum((c - cpi_mean) ** 2 for c in cpis) / (n - 1)
+            cpi_std = math.sqrt(var)
+        else:
+            cpi_std = 0.0
+        est_cycles = head_cycles + tail * cpi_mean
+        ipc_hat = total / est_cycles
+
+        # CI on total cycles -> CI on IPC (monotone transform), then
+        # widen to the systematic bias floor.
+        hw_cycles = cfg.confidence_z * (cpi_std / math.sqrt(n)) * tail
+        if hw_cycles < est_cycles:
+            ipc_lo = total / (est_cycles + hw_cycles)
+            ipc_hi = total / (est_cycles - hw_cycles)
+        else:  # variance blew past the mean: clamp at zero
+            ipc_lo = 0.0
+            ipc_hi = 2.0 * ipc_hat
+        floor = cfg.bias_floor * ipc_hat
+        ipc_lo = min(ipc_lo, ipc_hat - floor)
+        ipc_hi = max(ipc_hi, ipc_hat + floor)
+
+        stats = self._scaled_stats(ipc_hat)
+        summary = SamplingSummary(
+            windows=n,
+            measured_instructions=self.schedule.measured_instructions,
+            detailed_instructions=sim.stats.committed,
+            fast_forwarded=sim.ff_retired,
+            total_instructions=total,
+            head_instructions=head,
+            cpi_mean=cpi_mean,
+            cpi_std=cpi_std,
+            ipc_estimate=ipc_hat,
+            ci_halfwidth=max(ipc_hi - ipc_hat, ipc_hat - ipc_lo),
+        )
+        return SimResult(
+            benchmark=sim.trace.metadata.benchmark,
+            num_slices=sim.vcore.num_slices,
+            l2_cache_kb=sim.vcore.l2_cache_kb,
+            stats=stats,
+            sampled=True,
+            ipc_ci=(ipc_lo, ipc_hi),
+            sampling=summary,
+        )
+
+    def _scaled_stats(self, ipc_hat: float) -> SimStats:
+        """Full-trace statistics extrapolated from the detailed windows.
+
+        Window-only counters scale by ``total / detailed``; the L1D and
+        L2 counters are already full-trace (fast-forward streams every
+        access through the hierarchy) and pass through unscaled.
+        """
+        measured = self.sim.stats
+        total = len(self.sim.trace)
+        detailed = max(1, measured.committed)
+        scale = total / detailed
+
+        def s(count: int) -> int:
+            return round(count * scale)
+
+        stalls = StallBreakdown(**{
+            name: s(value)
+            for name, value in measured.stalls.as_dict().items()
+        })
+        return SimStats(
+            cycles=max(1, round(total / ipc_hat)),
+            fetched=s(measured.fetched),
+            committed=total,
+            squashed=s(measured.squashed),
+            branches=s(measured.branches),
+            branch_mispredicts=s(measured.branch_mispredicts),
+            l1i_accesses=s(measured.l1i_accesses),
+            l1i_misses=s(measured.l1i_misses),
+            l1d_accesses=measured.l1d_accesses,
+            l1d_misses=measured.l1d_misses,
+            l2_accesses=measured.l2_accesses,
+            l2_misses=measured.l2_misses,
+            operand_requests=s(measured.operand_requests),
+            remote_operand_hops=s(measured.remote_operand_hops),
+            lsq_violations=s(measured.lsq_violations),
+            store_forwards=s(measured.store_forwards),
+            stalls=stalls,
+        )
+
+
+def simulate_sampled(trace: Trace, num_slices: int = 1,
+                     l2_cache_kb: float = 128.0,
+                     sampling: SamplingConfig = DEFAULT_SAMPLING,
+                     config: Optional[SimConfig] = None,
+                     warmup_trace: Optional[Trace] = None,
+                     warmup_addresses: Optional[Sequence[int]] = None,
+                     timeout: Optional[int] = None,
+                     obs: Optional[Observability] = None,
+                     phase_lengths: Optional[Sequence[int]] = None
+                     ) -> SimResult:
+    """Sampled counterpart of :func:`repro.core.simulator.simulate`."""
+    return SampledSimulator(
+        trace, config=config, sampling=sampling, num_slices=num_slices,
+        l2_cache_kb=l2_cache_kb, warmup_trace=warmup_trace,
+        warmup_addresses=warmup_addresses, timeout=timeout, obs=obs,
+        phase_lengths=phase_lengths,
+    ).run()

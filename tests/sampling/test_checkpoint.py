@@ -1,0 +1,79 @@
+"""Tests for micro-architectural checkpoints."""
+
+import pytest
+
+from repro.core.simulator import SharingSimulator
+from repro.sampling import Checkpoint
+from repro.trace.materialize import get_workload
+
+
+def _sim(length=3000, **kwargs):
+    warmup, trace = get_workload("gcc", length, 1)
+    return SharingSimulator(trace, num_slices=2, l2_cache_kb=256.0,
+                           warmup_addresses=warmup, **kwargs)
+
+
+class TestCapture:
+    def test_requires_drained_pipeline(self):
+        sim = _sim()
+        sim._fetch_limit = 500
+        sim.run_to_commit(200)  # committed 200, but fetch ran ahead
+        if sim.stats.committed < sim._fetch_ptr:
+            with pytest.raises(RuntimeError):
+                Checkpoint.capture(sim)
+
+    def test_captures_position_and_cycle(self):
+        sim = _sim()
+        sim.fast_forward(1000)
+        ckpt = Checkpoint.capture(sim)
+        assert ckpt.position == 1000
+        assert ckpt.cycle == sim._now
+
+
+class TestRestore:
+    def test_replay_is_deterministic(self):
+        # Run A: FF 1000, checkpoint, run to completion.
+        sim = _sim()
+        sim.fast_forward(1000)
+        ckpt = Checkpoint.capture(sim)
+        result_a = sim.run()
+
+        # Run B: restore the same snapshot onto the finished simulator
+        # and re-run; identical trace suffix => identical result.
+        ckpt.restore(sim)
+        result_b = sim.run()
+        assert result_a.stats.summary() == result_b.stats.summary()
+
+    def test_restore_is_reusable(self):
+        sim = _sim(length=2000)
+        sim.fast_forward(500)
+        ckpt = Checkpoint.capture(sim)
+        first = sim.run().stats.summary()
+        ckpt.restore(sim)
+        second = sim.run().stats.summary()
+        ckpt.restore(sim)
+        third = sim.run().stats.summary()
+        assert first == second == third
+
+    def test_snapshot_isolated_from_live_run(self):
+        sim = _sim(length=2000)
+        sim.fast_forward(800)
+        ckpt = Checkpoint.capture(sim)
+        baseline_cycle = ckpt.cycle
+        sim.run()  # mutates the live simulator heavily
+        assert ckpt.cycle == baseline_cycle
+        ckpt.restore(sim)
+        assert sim._now == baseline_cycle
+        assert sim._fetch_ptr == 800
+
+    def test_shares_immutable_config_and_trace(self):
+        sim = _sim()
+        sim.fast_forward(200)
+        config, trace = sim.config, sim.trace
+        ckpt = Checkpoint.capture(sim)
+        ckpt.restore(sim)
+        # The frozen config and the trace are shared with the snapshot,
+        # never deep-copied (the memo pins them).
+        assert sim.config is config
+        assert sim.trace is trace
+        assert sim.vcore.config is config

@@ -1,0 +1,150 @@
+"""Tests for the sampling policy: schedules, jitter, head stratum."""
+
+import dataclasses
+
+import pytest
+
+from repro.sampling import (
+    DEFAULT_SAMPLING, SamplingConfig, SamplingPolicy,
+)
+
+
+def _cfg(**kwargs):
+    base = dict(interval=1000, detail=200, warmup=80, head=0,
+                jitter_seed=7)
+    base.update(kwargs)
+    return SamplingConfig(**base)
+
+
+class TestConfigValidation:
+    def test_window_must_fit_interval(self):
+        with pytest.raises(ValueError):
+            SamplingConfig(interval=100, detail=80, warmup=40)
+
+    @pytest.mark.parametrize("field,value", [
+        ("interval", 0),
+        ("detail", 0),
+        ("warmup", -1),
+        ("head", -1),
+        ("min_windows", 0),
+        ("confidence_z", 0.0),
+        ("bias_floor", 1.0),
+    ])
+    def test_rejects_bad_values(self, field, value):
+        with pytest.raises(ValueError):
+            _cfg(**{field: value})
+
+    def test_key_fields_cover_every_field(self):
+        # Every config knob changes the schedule or the estimate, so
+        # every field must enter the result-cache key.
+        cfg = DEFAULT_SAMPLING
+        assert set(cfg.key_fields()) == {
+            f.name for f in dataclasses.fields(SamplingConfig)
+        }
+
+
+class TestPlan:
+    def test_windows_tile_the_tail(self):
+        cfg = _cfg(head=500)
+        schedule = SamplingPolicy(cfg).plan(10_500)
+        assert not schedule.exact
+        assert schedule.head == 500
+        assert len(schedule.windows) == 10  # one per interval of the tail
+        for window in schedule.windows:
+            assert window.start >= 500
+            assert window.end <= 10_500
+            assert window.detail == cfg.detail
+            assert window.warmup == cfg.warmup
+
+    def test_windows_stay_inside_their_interval(self):
+        cfg = _cfg()
+        schedule = SamplingPolicy(cfg).plan(20_000)
+        for i, window in enumerate(schedule.windows):
+            assert i * cfg.interval <= window.start
+            assert window.end <= (i + 1) * cfg.interval
+
+    def test_deterministic_per_seed(self):
+        a = SamplingPolicy(_cfg(jitter_seed=3)).plan(30_000)
+        b = SamplingPolicy(_cfg(jitter_seed=3)).plan(30_000)
+        assert a == b
+
+    def test_seed_changes_offsets(self):
+        a = SamplingPolicy(_cfg(jitter_seed=3)).plan(30_000)
+        b = SamplingPolicy(_cfg(jitter_seed=4)).plan(30_000)
+        assert a != b
+        # Same shape, different in-interval placement.
+        assert len(a.windows) == len(b.windows)
+
+    def test_no_jitter_starts_at_interval_heads(self):
+        schedule = SamplingPolicy(_cfg(jitter_seed=None)).plan(5_000)
+        assert [w.start for w in schedule.windows] == [0, 1000, 2000,
+                                                       3000, 4000]
+
+    def test_short_trace_degenerates_to_exact(self):
+        schedule = SamplingPolicy(_cfg(min_windows=3)).plan(2_200)
+        assert schedule.exact
+        assert schedule.windows == ()
+
+    def test_head_clipped_to_trace(self):
+        schedule = SamplingPolicy(_cfg(head=50_000)).plan(1_000)
+        assert schedule.exact or schedule.head <= 1_000
+
+    def test_accounting(self):
+        cfg = _cfg(head=1_000)
+        schedule = SamplingPolicy(cfg).plan(11_000)
+        span = cfg.warmup + cfg.detail
+        n = len(schedule.windows)
+        assert schedule.detailed_instructions == 1_000 + n * span
+        assert schedule.measured_instructions == 1_000 + n * cfg.detail
+        assert (schedule.fast_forward_instructions
+                == 11_000 - schedule.detailed_instructions)
+        assert 0.0 < schedule.detail_fraction < 1.0
+
+
+class TestPlanPhases:
+    def test_every_phase_gets_a_window(self):
+        cfg = _cfg()
+        schedule = SamplingPolicy(cfg).plan_phases([4_000, 2_000, 4_000])
+        assert not schedule.exact
+        starts = [w.start for w in schedule.windows]
+        assert any(s < 4_000 for s in starts)
+        assert any(4_000 <= s < 6_000 for s in starts)
+        assert any(s >= 6_000 for s in starts)
+
+    def test_degenerate_phase_falls_back_to_exact(self):
+        cfg = _cfg()  # window span 280
+        schedule = SamplingPolicy(cfg).plan_phases([4_000, 100, 4_000])
+        assert schedule.exact
+
+    def test_head_swallowed_phase_is_fine(self):
+        cfg = _cfg(head=2_000)
+        # First phase lies entirely inside the exhaustively-measured
+        # head; it must not force an exact fallback.
+        schedule = SamplingPolicy(cfg).plan_phases([1_500, 5_000, 5_000])
+        assert not schedule.exact
+        assert all(w.start >= 2_000 for w in schedule.windows)
+
+    def test_rejects_empty_and_nonpositive(self):
+        policy = SamplingPolicy(_cfg())
+        with pytest.raises(ValueError):
+            policy.plan_phases([])
+        with pytest.raises(ValueError):
+            policy.plan_phases([1_000, 0])
+
+
+class TestDefaultOperatingPoint:
+    def test_default_is_the_validated_tuple(self):
+        # The default config is a *calibrated unit* (see policy.py):
+        # the offline schedule search validated exactly this tuple
+        # against exact runs of all fifteen profiles.  Changing any of
+        # these re-opens the error budget and must re-run validation.
+        assert (DEFAULT_SAMPLING.interval,
+                DEFAULT_SAMPLING.detail,
+                DEFAULT_SAMPLING.warmup,
+                DEFAULT_SAMPLING.head,
+                DEFAULT_SAMPLING.jitter_seed) == (1100, 180, 80, 2000, 12)
+
+    def test_default_detail_fraction_supports_3x(self):
+        # speedup ~= 1 / (f + (1 - f) / 51); f <= 0.30 keeps >= 3x.
+        schedule = SamplingPolicy(DEFAULT_SAMPLING).plan(96_000)
+        assert schedule.detail_fraction <= 0.30
