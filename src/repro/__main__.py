@@ -37,6 +37,7 @@ _EXPERIMENTS = {
     "parsec": "parsec_multivcore",
     "energy": "energy_delay",
     "ablation-son": "ablation_son",
+    "datacenter": "datacenter_scale",
 }
 
 
@@ -61,6 +62,8 @@ def _cmd_experiments(args) -> int:
         argv += ["--metrics-out", args.metrics_out]
     if args.timeout is not None:
         argv += ["--timeout", str(args.timeout)]
+    if args.backend != "numpy":
+        argv += ["--backend", args.backend]
     if args.sampling:
         argv.append("--sampling")
     if args.profile:
@@ -183,6 +186,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write run metrics as JSON")
     exp.add_argument("--timeout", type=float, default=None, metavar="S",
                      help="per-sweep wall-clock bound (seconds)")
+    exp.add_argument("--backend", choices=("numpy", "python"),
+                     default="numpy",
+                     help="economics evaluation backend (default numpy)")
     exp_mode = exp.add_mutually_exclusive_group()
     exp_mode.add_argument("--sampling", action="store_true",
                           help="interval-sampled simulation sweeps")

@@ -4,11 +4,22 @@ Paper Figure 3: Slices and Cache Banks sit on a single switched fabric;
 "a full chip will have 100's of Slices and Cache Banks".  Slices of a
 VCore must be contiguous within a row (operand latency); banks may be
 anywhere, with latency set by Manhattan distance.
+
+Allocation is indexed, not scanned.  Each row keeps its free slice
+positions as sorted maximal intervals (in slice-column index space, so
+interleaved bank columns neither break nor count toward a run), and a
+segment tree over per-row maximum run lengths answers "lowest row with a
+free run of ``count``" in O(log height).  Free banks are found by
+walking Manhattan-distance rings outward from the anchor instead of
+sorting every free bank on the chip.  Both paths return bit-identical
+placements to the original linear scans: first-fit lowest row, leftmost
+run; nearest banks with ties broken by ascending node id.
 """
 
 from __future__ import annotations
 
 import enum
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -29,6 +40,115 @@ class TileAssignment:
     """Who owns a tile."""
 
     owner: str  # VCore id
+
+
+class _RowRuns:
+    """One row's free slice positions as sorted maximal intervals.
+
+    Positions are slice-column *indices* (0..S-1), not x coordinates:
+    a bank column between two slice columns does not interrupt a run,
+    matching the original scan's ``continue`` over bank tiles.
+    """
+
+    __slots__ = ("starts", "ends")
+
+    def __init__(self, num_positions: int):
+        if num_positions > 0:
+            self.starts = [0]
+            self.ends = [num_positions]
+        else:
+            self.starts = []
+            self.ends = []
+
+    def max_run(self) -> int:
+        if not self.starts:
+            return 0
+        return max(e - s for s, e in zip(self.starts, self.ends))
+
+    def first_run(self, count: int) -> Optional[int]:
+        """Start position of the leftmost free run of >= ``count``."""
+        for s, e in zip(self.starts, self.ends):
+            if e - s >= count:
+                return s
+        return None
+
+    def _locate(self, pos: int) -> int:
+        i = bisect_right(self.starts, pos) - 1
+        if i < 0 or pos >= self.ends[i]:
+            raise AllocationError(f"slice position {pos} is not free")
+        return i
+
+    def remove(self, pos: int) -> None:
+        """Mark ``pos`` occupied, splitting its interval as needed."""
+        i = self._locate(pos)
+        s, e = self.starts[i], self.ends[i]
+        if s == pos and e == pos + 1:
+            del self.starts[i]
+            del self.ends[i]
+        elif s == pos:
+            self.starts[i] = pos + 1
+        elif e == pos + 1:
+            self.ends[i] = pos
+        else:  # split interior
+            self.ends[i] = pos
+            self.starts.insert(i + 1, pos + 1)
+            self.ends.insert(i + 1, e)
+
+    def add(self, pos: int) -> None:
+        """Mark ``pos`` free again, merging with neighbours."""
+        i = bisect_right(self.starts, pos) - 1
+        left = i >= 0 and self.ends[i] == pos
+        right = (i + 1 < len(self.starts)
+                 and self.starts[i + 1] == pos + 1)
+        if i >= 0 and pos < self.ends[i]:
+            raise AllocationError(f"slice position {pos} already free")
+        if left and right:
+            self.ends[i] = self.ends[i + 1]
+            del self.starts[i + 1]
+            del self.ends[i + 1]
+        elif left:
+            self.ends[i] = pos + 1
+        elif right:
+            self.starts[i + 1] = pos
+        else:
+            self.starts.insert(i + 1, pos)
+            self.ends.insert(i + 1, pos + 1)
+
+
+class _RowMaxTree:
+    """Segment tree over rows: max free-run length, leftmost descent."""
+
+    __slots__ = ("size", "tree")
+
+    def __init__(self, num_rows: int, values: Sequence[int]):
+        size = 1
+        while size < max(1, num_rows):
+            size *= 2
+        self.size = size
+        self.tree = [0] * (2 * size)
+        for y, v in enumerate(values):
+            self.tree[size + y] = v
+        for i in range(size - 1, 0, -1):
+            self.tree[i] = max(self.tree[2 * i], self.tree[2 * i + 1])
+
+    def update(self, row: int, value: int) -> None:
+        i = self.size + row
+        self.tree[i] = value
+        i //= 2
+        while i:
+            self.tree[i] = max(self.tree[2 * i], self.tree[2 * i + 1])
+            i //= 2
+
+    def first_row_with(self, count: int) -> Optional[int]:
+        """The lowest row whose max free run is >= ``count``."""
+        if self.tree[1] < count:
+            return None
+        i = 1
+        while i < self.size:
+            i *= 2
+            if self.tree[i] < count:
+                i += 1
+        return i - self.size
 
 
 class Fabric:
@@ -53,6 +173,25 @@ class Fabric:
                 TileKind.BANK if x in bank_cols else TileKind.SLICE
             )
         self._owner: Dict[int, str] = {}
+        #: Claimed nodes per owner, in claim order (release order).
+        self._owner_nodes: Dict[str, List[int]] = {}
+        #: Slice columns ascending, and x -> slice-column index.
+        self._slice_cols: List[int] = sorted(
+            x for x in range(width) if x not in bank_cols
+        )
+        self._col_index: Dict[int, int] = {
+            x: i for i, x in enumerate(self._slice_cols)
+        }
+        self._rows: List[_RowRuns] = [
+            _RowRuns(len(self._slice_cols)) for _ in range(height)
+        ]
+        self._row_tree = _RowMaxTree(
+            height, [r.max_run() for r in self._rows]
+        )
+        self._free_counts: Dict[TileKind, int] = {
+            TileKind.SLICE: len(self._slice_cols) * height,
+            TileKind.BANK: len(bank_cols & set(range(width))) * height,
+        }
 
     # ------------------------------------------------------------------
     # queries
@@ -73,13 +212,17 @@ class Fabric:
     def free_tiles(self, kind: TileKind) -> List[int]:
         return [n for n in self.tiles(kind) if self.is_free(n)]
 
+    def free_count(self, kind: TileKind) -> int:
+        """How many tiles of ``kind`` are free - O(1)."""
+        return self._free_counts[kind]
+
     @property
     def num_slices(self) -> int:
-        return len(self.tiles(TileKind.SLICE))
+        return len(self._slice_cols) * self.mesh.height
 
     @property
     def num_banks(self) -> int:
-        return len(self.tiles(TileKind.BANK))
+        return self.mesh.num_nodes - self.num_slices
 
     def utilization(self) -> float:
         return len(self._owner) / self.mesh.num_nodes
@@ -94,33 +237,58 @@ class Fabric:
         Contiguity here means consecutive slice tiles of one row - bank
         columns interleave physically but the slice-to-slice operand
         distance remains proportional to position, which is what the
-        latency model charges.
+        latency model charges.  First fit: lowest row, leftmost run.
         """
         if count < 1:
             raise ValueError("need at least one Slice")
-        for y in range(self.mesh.height):
-            run: List[int] = []
-            for x in range(self.mesh.width):
-                node = self.mesh.node_at(x, y)
-                if self._kind[node] is not TileKind.SLICE:
-                    continue
-                if self.is_free(node):
-                    run.append(node)
-                    if len(run) == count:
-                        return run
-                else:
-                    run = []
-        return None
+        y = self._row_tree.first_row_with(count)
+        if y is None:
+            return None
+        start = self._rows[y].first_run(count)
+        assert start is not None
+        return [
+            self.mesh.node_at(self._slice_cols[p], y)
+            for p in range(start, start + count)
+        ]
 
     def find_nearest_banks(self, anchor: int, count: int) -> List[int]:
-        """The ``count`` free bank tiles nearest to ``anchor``."""
-        free = self.free_tiles(TileKind.BANK)
-        if len(free) < count:
+        """The ``count`` free bank tiles nearest to ``anchor``.
+
+        Manhattan-distance rings expand outward from the anchor; within
+        a ring, ties break by ascending node id (the stable-sort order
+        of the original full-chip scan).
+        """
+        if self._free_counts[TileKind.BANK] < count:
             raise AllocationError(
-                f"need {count} banks, only {len(free)} free"
+                f"need {count} banks, only "
+                f"{self._free_counts[TileKind.BANK]} free"
             )
-        free.sort(key=lambda n: self.mesh.distance(anchor, n))
-        return free[:count]
+        ax, ay = self.mesh.coords(anchor)
+        mesh = self.mesh
+        chosen: List[int] = []
+        max_radius = (max(ax, mesh.width - 1 - ax)
+                      + max(ay, mesh.height - 1 - ay))
+        for radius in range(max_radius + 1):
+            ring: List[int] = []
+            for dy in range(-radius, radius + 1):
+                y = ay + dy
+                if not 0 <= y < mesh.height:
+                    continue
+                dx = radius - abs(dy)
+                for x in {ax - dx, ax + dx}:
+                    if not 0 <= x < mesh.width:
+                        continue
+                    node = mesh.node_at(x, y)
+                    if (self._kind[node] is TileKind.BANK
+                            and node not in self._owner):
+                        ring.append(node)
+            ring.sort()
+            chosen.extend(ring)
+            if len(chosen) >= count:
+                return chosen[:count]
+        raise AllocationError(  # pragma: no cover - guarded by the count
+            f"need {count} banks, ran out of fabric"
+        )
 
     def claim(self, nodes: Sequence[int], owner: str) -> None:
         for node in nodes:
@@ -128,16 +296,35 @@ class Fabric:
                 raise AllocationError(f"tile {node} already owned")
         for node in nodes:
             self._owner[node] = owner
+            self._owner_nodes.setdefault(owner, []).append(node)
+            kind = self._kind[node]
+            self._free_counts[kind] -= 1
+            if kind is TileKind.SLICE:
+                self._slice_freed(node, free=False)
 
     def release(self, owner: str) -> List[int]:
         """Free every tile owned by ``owner``; returns the freed nodes."""
-        freed = [n for n, o in self._owner.items() if o == owner]
+        freed = self._owner_nodes.pop(owner, [])
         for node in freed:
             del self._owner[node]
+            kind = self._kind[node]
+            self._free_counts[kind] += 1
+            if kind is TileKind.SLICE:
+                self._slice_freed(node, free=True)
         return freed
 
+    def _slice_freed(self, node: int, free: bool) -> None:
+        x, y = self.mesh.coords(node)
+        row = self._rows[y]
+        pos = self._col_index[x]
+        if free:
+            row.add(pos)
+        else:
+            row.remove(pos)
+        self._row_tree.update(y, row.max_run())
+
     def owned_by(self, owner: str) -> List[int]:
-        return sorted(n for n, o in self._owner.items() if o == owner)
+        return sorted(self._owner_nodes.get(owner, []))
 
     def defragment_candidates(self, count: int) -> bool:
         """Would ``count`` Slices fit after rescheduling (total capacity)?
@@ -146,4 +333,4 @@ class Fabric:
         rescheduling Slices to VCores" - all Slices are interchangeable,
         so capacity, not layout, is the real constraint.
         """
-        return len(self.free_tiles(TileKind.SLICE)) >= count
+        return self._free_counts[TileKind.SLICE] >= count

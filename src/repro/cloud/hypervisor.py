@@ -199,6 +199,6 @@ class Hypervisor:
 
     def free_capacity(self) -> Dict[str, int]:
         return {
-            "slices": len(self.fabric.free_tiles(TileKind.SLICE)),
-            "banks": len(self.fabric.free_tiles(TileKind.BANK)),
+            "slices": self.fabric.free_count(TileKind.SLICE),
+            "banks": self.fabric.free_count(TileKind.BANK),
         }

@@ -87,8 +87,8 @@ class CloudScheduler:
         fabric = self.hypervisor.fabric
         slice_total = fabric.num_slices
         bank_total = fabric.num_banks
-        slice_used = slice_total - len(fabric.free_tiles(TileKind.SLICE))
-        bank_used = bank_total - len(fabric.free_tiles(TileKind.BANK))
+        slice_used = slice_total - fabric.free_count(TileKind.SLICE)
+        bank_used = bank_total - fabric.free_count(TileKind.BANK)
         slice_load = slice_used / slice_total if slice_total else 0.0
         bank_load = bank_used / bank_total if bank_total else 0.0
         k = self.price_sensitivity

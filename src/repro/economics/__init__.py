@@ -17,6 +17,13 @@ This package implements:
 * the utility optimiser (Table 6) and the market-efficiency comparisons
   against static fixed and heterogeneous architectures (Figures 15-16);
 * the dynamic-phase analysis (Table 7).
+
+Two interchangeable backends execute the hot paths: the vectorized
+market kernel of :mod:`repro.economics.tensor` (``backend="numpy"``, the
+default when numpy is importable) and the scalar reference loops
+(``backend="python"``).  Both produce bit-identical optimal
+configurations; see DESIGN.md's "Vectorized market kernel" section for
+the fp-tolerance policy on utility *values*.
 """
 
 from repro.economics.utility import (
@@ -41,6 +48,13 @@ from repro.economics.comparison import (
     PairGain,
 )
 from repro.economics.phases_analysis import PhaseScheduleResult, analyze_phases
+from repro.economics.tensor import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    HAVE_NUMPY,
+    MarketKernel,
+    resolve_backend,
+)
 
 __all__ = [
     "UtilityFunction",
@@ -65,4 +79,9 @@ __all__ = [
     "PairGain",
     "PhaseScheduleResult",
     "analyze_phases",
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "HAVE_NUMPY",
+    "MarketKernel",
+    "resolve_backend",
 ]

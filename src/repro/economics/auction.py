@@ -19,6 +19,15 @@ bidders under scarce supply can oscillate between two bundles forever.
 the provider must ration (exactly what EC2's spot market does when it
 interrupts instances).  Diverse populations, the realistic case, clear
 in a handful of rounds.
+
+Backends: each tatonnement round is one best-response computation for
+every bidder.  On ``"numpy"`` the bidders' performance grids are stacked
+into one ``(bidders, cache, slices)`` tensor once, and each round is a
+broadcasted cost/utility evaluation plus a flat argmax per bidder -
+:class:`Allocation` objects are only materialized for the final round.
+The ``"python"`` path keeps the per-bidder scalar optimizer as the
+reference implementation.  The price-adjustment/convergence logic is
+shared verbatim between the two.
 """
 
 from __future__ import annotations
@@ -29,8 +38,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.economics.market import Market
 from repro.economics.optimizer import UtilityOptimizer
+from repro.economics.tensor import MarketKernel, resolve_backend
 from repro.economics.utility import UtilityFunction
-from repro.perfmodel.model import AnalyticModel
+from repro.perfmodel.model import AnalyticModel, _resolve
 
 
 @dataclass(frozen=True)
@@ -112,7 +122,9 @@ class SpotMarket:
                  model: Optional[AnalyticModel] = None,
                  adjustment_rate: float = 0.3,
                  tolerance: float = 0.05,
-                 max_rounds: int = 60):
+                 max_rounds: int = 60,
+                 backend: Optional[str] = None,
+                 obs=None):
         if slice_supply <= 0 or bank_supply <= 0:
             raise ValueError("supplies must be positive")
         if not 0 < adjustment_rate < 1:
@@ -124,15 +136,26 @@ class SpotMarket:
         self.adjustment_rate = adjustment_rate
         self.tolerance = tolerance
         self.max_rounds = max_rounds
+        self.backend = resolve_backend(backend)
+        from repro.obs import OBS_OFF
+
+        self._obs = obs or OBS_OFF
+        scope = self._obs.scope("economics.auction")
+        self._c_rounds = scope.counter("rounds")
+        self._c_bids = scope.counter("bid_evaluations")
+        self._t_clear = scope.timer("clear_s")
+        self._kernel: Optional[MarketKernel] = None
 
     def _demands(self, bidders: Sequence[Bidder], slice_price: float,
                  bank_price: float) -> List[Allocation]:
+        """Scalar reference: one best-response optimizer per bidder."""
         market = Market(name="spot", slice_price=slice_price,
                         bank_price=bank_price, fixed_cost=self.fixed_cost)
         allocations = []
         for bidder in bidders:
             optimizer = UtilityOptimizer(model=self.model,
-                                         budget=bidder.budget)
+                                         budget=bidder.budget,
+                                         backend="python")
             choice = optimizer.best(bidder.benchmark, bidder.utility, market)
             allocations.append(Allocation(
                 bidder=bidder.name,
@@ -143,26 +166,121 @@ class SpotMarket:
             ))
         return allocations
 
+    # ------------------------------------------------------------------
+    # vectorized best responses (numpy backend)
+    # ------------------------------------------------------------------
+
+    def _prepare_numpy(self, bidders: Sequence[Bidder]) -> dict:
+        """Stack per-bidder state into round-reusable tensors."""
+        import numpy as np
+
+        if self._kernel is None:
+            self._kernel = MarketKernel(model=self.model)
+        kernel = self._kernel
+        profiles = [_resolve(b.benchmark) for b in bidders]
+        kernel.prime(profiles)
+        perf = np.stack([kernel.perf_row(p) for p in profiles])
+        k = np.array([b.utility.perf_exponent for b in bidders])
+        budgets = np.array([b.budget for b in bidders])
+        cache = np.asarray(kernel.cache_grid, dtype=float)
+        slices = np.asarray(kernel.slice_grid, dtype=float)
+        return {
+            "perf": perf,                       # (n, C, S)
+            "perf_k": perf ** k[:, None, None],  # (n, C, S), round-invariant
+            "inv_k": (1.0 / k)[:, None],         # (n, 1)
+            "budgets": budgets[:, None],         # (n, 1)
+            "slices_row": slices[None, :],       # broadcast (C, S) pieces
+            "banks_row": (cache / 64.0)[:, None],
+            "n_slices": len(kernel.slice_grid),
+        }
+
+    def _round_numpy(self, state: dict, slice_price: float,
+                     bank_price: float):
+        """One tatonnement round for every bidder at once.
+
+        Returns ``(choices, slice_demand, bank_demand)`` where
+        ``choices`` holds flat per-bidder argmax indices plus the vcores
+        and utility columns needed to build :class:`Allocation` objects
+        for the final round only.
+        """
+        import numpy as np
+
+        # Same op order as Market.cost: banks*C_b + slices*C_s + fixed.
+        cost = (bank_price * state["banks_row"]
+                + slice_price * state["slices_row"] + self.fixed_cost)
+        flat_cost = cost.reshape(1, -1)               # (1, C*S)
+        vcores = state["budgets"] / flat_cost          # (n, C*S)
+        n = state["perf"].shape[0]
+        utility = (vcores ** state["inv_k"]) * state["perf_k"].reshape(n, -1)
+        winner = np.argmax(utility, axis=1)            # first max: scalar tie order
+        rows = np.arange(n)
+        v_best = vcores[rows, winner]
+        ci, si = np.divmod(winner, state["n_slices"])
+        slices_per = state["slices_row"][0, si]
+        banks_per = state["banks_row"][ci, 0]
+        slice_demand = float(np.sum(v_best * slices_per))
+        bank_demand = float(np.sum(v_best * banks_per))
+        choices = {
+            "winner": winner,
+            "vcores": v_best,
+            "utility": utility[rows, winner],
+            "ci": ci,
+            "si": si,
+        }
+        return choices, slice_demand, bank_demand
+
+    def _allocations_from(self, bidders: Sequence[Bidder], state: dict,
+                          choices: dict) -> List[Allocation]:
+        kernel = self._kernel
+        assert kernel is not None
+        return [
+            Allocation(
+                bidder=b.name,
+                cache_kb=kernel.cache_grid[int(choices["ci"][i])],
+                slices=kernel.slice_grid[int(choices["si"][i])],
+                vcores=float(choices["vcores"][i]),
+                utility=float(choices["utility"][i]),
+            )
+            for i, b in enumerate(bidders)
+        ]
+
     def clear(self, bidders: Sequence[Bidder],
               initial_slice_price: float = 2.0,
               initial_bank_price: float = 1.0) -> ClearingResult:
         """Iterate prices until excess demand is within tolerance."""
         if not bidders:
             raise ValueError("need at least one bidder")
+        with self._t_clear:
+            return self._clear(bidders, initial_slice_price,
+                               initial_bank_price)
+
+    def _clear(self, bidders: Sequence[Bidder],
+               initial_slice_price: float,
+               initial_bank_price: float) -> ClearingResult:
+        vectorized = self.backend == "numpy"
+        state = self._prepare_numpy(bidders) if vectorized else None
         slice_price = initial_slice_price
         bank_price = initial_bank_price
         allocations: List[Allocation] = []
+        choices: Optional[dict] = None
         converged = False
         rationed = False
         stable_rounds = 0
         last_demand = (None, None)
         rounds = 0
         for rounds in range(1, self.max_rounds + 1):
-            allocations = self._demands(bidders, slice_price, bank_price)
-            slice_excess = (sum(a.slices_demanded for a in allocations)
-                            / self.slice_supply - 1.0)
-            bank_excess = (sum(a.banks_demanded for a in allocations)
-                           / self.bank_supply - 1.0)
+            self._c_rounds.inc()
+            self._c_bids.inc(len(bidders))
+            if vectorized:
+                choices, slice_demand, bank_demand = self._round_numpy(
+                    state, slice_price, bank_price
+                )
+            else:
+                allocations = self._demands(bidders, slice_price, bank_price)
+                slice_demand = sum(a.slices_demanded for a in allocations)
+                bank_demand = sum(a.banks_demanded for a in allocations)
+            slice_excess = slice_demand / self.slice_supply - 1.0
+            bank_excess = bank_demand / self.bank_supply - 1.0
             # Cleared: no over-demand on either resource.  Under-demand
             # is acceptable (free disposal): with excess supply the
             # competitive price falls toward the floor and idle capacity
@@ -182,8 +300,7 @@ class SpotMarket:
             # Lumpy demand: optima move in grid steps, so demand can be
             # price-insensitive over a band.  If it has not moved for
             # several rounds the price has settled - accept and ration.
-            demand = (round(sum(a.slices_demanded for a in allocations), 1),
-                      round(sum(a.banks_demanded for a in allocations), 1))
+            demand = (round(slice_demand, 1), round(bank_demand, 1))
             stable_rounds = stable_rounds + 1 if demand == last_demand else 0
             last_demand = demand
             if stable_rounds >= 5:
@@ -197,6 +314,8 @@ class SpotMarket:
                               slice_price * math.exp(k * _clamp(slice_excess)))
             bank_price = max(floor,
                              bank_price * math.exp(k * _clamp(bank_excess)))
+        if vectorized and choices is not None:
+            allocations = self._allocations_from(bidders, state, choices)
         return ClearingResult(
             slice_price=slice_price,
             bank_price=bank_price,

@@ -10,6 +10,18 @@ factor ``v`` that maximise their utility under their budget:
 The search is exhaustive over the valid configuration grid, exactly as
 the paper's evaluation ("an exhaustive search of performance for
 different Slice count and Cache configurations", Section 5.5).
+
+Two interchangeable backends perform that search (``backend=``):
+
+* ``"numpy"`` (default when numpy is available) - the vectorized
+  market kernel of :mod:`repro.economics.tensor`: one masked argmax per
+  customer over a memoized utility tensor;
+* ``"python"`` - the scalar reference loops, kept for the equivalence
+  suite and numpy-less installs.
+
+Either way the per-benchmark ``P(c, s)`` grid is evaluated *once* and
+shared across every utility function and market that queries it (the
+hit/miss counters under ``economics.optimizer`` quantify the reuse).
 """
 
 from __future__ import annotations
@@ -18,12 +30,14 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.economics.market import Market
+from repro.economics.tensor import MarketKernel, resolve_backend
 from repro.economics.utility import UtilityFunction
 from repro.perfmodel.model import (
     AnalyticModel,
     CACHE_GRID_KB,
     SLICE_GRID,
     ProfileLike,
+    _resolve,
 )
 
 #: Default customer budget: enough for roughly a dozen equal-area Slices.
@@ -57,7 +71,8 @@ class UtilityOptimizer:
                  budget: float = DEFAULT_BUDGET,
                  cache_grid: Sequence[float] = CACHE_GRID_KB,
                  slice_grid: Sequence[int] = SLICE_GRID,
-                 engine=None):
+                 engine=None, backend: Optional[str] = None,
+                 obs=None):
         if budget <= 0:
             raise ValueError("budget must be positive")
         self.cache_grid = tuple(cache_grid)
@@ -67,38 +82,104 @@ class UtilityOptimizer:
                                       slice_grid=self.slice_grid)
         self.model = model or AnalyticModel()
         self.budget = budget
+        self.backend = resolve_backend(backend)
+        if obs is None and engine is not None:
+            obs = getattr(engine, "obs", None)
+        from repro.obs import OBS_OFF
+
+        self._obs = obs or OBS_OFF
+        scope = self._obs.scope("economics.optimizer")
+        self._c_grid_hits = scope.counter("perf_grid.hits")
+        self._c_grid_misses = scope.counter("perf_grid.misses")
+        #: Scalar-path P(c, s) tables, one per profile, shared across
+        #: every (utility, market) query.
+        self._perf_grids: Dict[object, Dict[Tuple[float, int], float]] = {}
+        self._kernel: Optional[MarketKernel] = None
+        if self.backend == "numpy":
+            self._kernel = MarketKernel(
+                model=self.model, cache_grid=self.cache_grid,
+                slice_grid=self.slice_grid, obs=self._obs,
+            )
+
+    @property
+    def kernel(self) -> Optional[MarketKernel]:
+        """The vectorized kernel (``None`` on the python backend)."""
+        return self._kernel
 
     def prime(self, benchmarks: Sequence[ProfileLike]) -> None:
         """Batch-evaluate the grid for ``benchmarks`` ahead of queries.
 
-        A no-op unless the optimizer's model is an engine-backed
-        :class:`~repro.engine.core.GridModel`.
+        Engine-backed :class:`~repro.engine.core.GridModel`\\ s fill
+        their table in one fan-out; the numpy kernel builds all
+        performance rows in one broadcasted pass.
         """
         prime = getattr(self.model, "prime", None)
         if prime is not None:
             prime(benchmarks)
+        if self._kernel is not None:
+            self._kernel.prime(benchmarks)
+
+    # ------------------------------------------------------------------
+    # memoized scalar grids (shared across utilities and markets)
+    # ------------------------------------------------------------------
+
+    def _perf_grid(self, benchmark: ProfileLike
+                   ) -> Dict[Tuple[float, int], float]:
+        """One profile's ``{(cache_kb, slices): P}`` table, built once."""
+        prof = _resolve(benchmark)
+        grid = self._perf_grids.get(prof)
+        if grid is not None:
+            self._c_grid_hits.inc()
+            return grid
+        self._c_grid_misses.inc()
+        grid = {
+            (cache_kb, slices): self.model.performance(prof, cache_kb,
+                                                       slices)
+            for cache_kb in self.cache_grid
+            for slices in self.slice_grid
+        }
+        self._perf_grids[prof] = grid
+        return grid
 
     def utility_at(self, benchmark: ProfileLike, utility: UtilityFunction,
                    market: Market, cache_kb: float, slices: int) -> float:
         """Utility of one specific configuration under the budget."""
-        perf = self.model.performance(benchmark, cache_kb, slices)
+        perf = self._perf_grid(benchmark).get((cache_kb, slices))
+        if perf is None:  # off-grid query: straight through the model
+            perf = self.model.performance(benchmark, cache_kb, slices)
         vcores = market.vcores_affordable(self.budget, cache_kb, slices)
         return utility.value(perf, vcores)
 
-    def best(self, benchmark: str, utility: UtilityFunction,
+    def best(self, benchmark: ProfileLike, utility: UtilityFunction,
              market: Market) -> OptimalChoice:
         """The utility-maximising configuration for one customer."""
+        name = _resolve(benchmark).name
+        if self._kernel is not None:
+            cache_kb, slices, vcores, perf, value = self._kernel.best(
+                benchmark, utility, market, self.budget
+            )
+            return OptimalChoice(
+                benchmark=name,
+                utility_name=utility.name,
+                market_name=market.name,
+                cache_kb=cache_kb,
+                slices=slices,
+                vcores=vcores,
+                performance=perf,
+                utility=value,
+            )
+        grid = self._perf_grid(benchmark)
         best_choice: Optional[OptimalChoice] = None
         for cache_kb in self.cache_grid:
             for slices in self.slice_grid:
-                perf = self.model.performance(benchmark, cache_kb, slices)
+                perf = grid[(cache_kb, slices)]
                 vcores = market.vcores_affordable(
                     self.budget, cache_kb, slices
                 )
                 value = utility.value(perf, vcores)
                 if best_choice is None or value > best_choice.utility:
                     best_choice = OptimalChoice(
-                        benchmark=benchmark,
+                        benchmark=name,
                         utility_name=utility.name,
                         market_name=market.name,
                         cache_kb=cache_kb,
@@ -110,14 +191,14 @@ class UtilityOptimizer:
         assert best_choice is not None
         return best_choice
 
-    def table6(self, benchmarks: Sequence[str],
+    def table6(self, benchmarks: Sequence[ProfileLike],
                utilities: Sequence[UtilityFunction],
                markets: Sequence[Market]
                ) -> Dict[Tuple[str, str, str], OptimalChoice]:
         """Paper Table 6: optimal configurations per market per utility."""
         self.prime(benchmarks)
         return {
-            (market.name, utility.name, bench): self.best(
+            (market.name, utility.name, _resolve(bench).name): self.best(
                 bench, utility, market
             )
             for market in markets
@@ -125,9 +206,18 @@ class UtilityOptimizer:
             for bench in benchmarks
         }
 
-    def utility_surface(self, benchmark: str, utility: UtilityFunction,
+    def utility_surface(self, benchmark: ProfileLike,
+                        utility: UtilityFunction,
                         market: Market) -> Dict[Tuple[float, int], float]:
         """Figure 14: the full utility surface over (cache, slices)."""
+        if self._kernel is not None:
+            grid = self._kernel.utility_grid(benchmark, utility, market,
+                                             self.budget)
+            return {
+                (cache_kb, slices): float(grid[ci, si])
+                for ci, cache_kb in enumerate(self.cache_grid)
+                for si, slices in enumerate(self.slice_grid)
+            }
         return {
             (cache_kb, slices): self.utility_at(
                 benchmark, utility, market, cache_kb, slices

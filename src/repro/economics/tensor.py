@@ -1,0 +1,430 @@
+"""Vectorized market kernel: numpy utility tensors over the config grid.
+
+The paper's economic evaluation is tensor-shaped: every customer's
+utility ``U(c, s, v)`` is evaluated over the full (cache, slices) grid
+(Equation 3), optima are grid argmaxes (Table 6, Figure 14), and the
+market-efficiency studies reduce over all customer pairs (Figures
+15-16).  The scalar reference implementation walks that space with
+Python loops; this module materializes it as numpy arrays instead:
+
+* :func:`performance_tensor` - ``P[bench, cache, slice]`` evaluated in
+  one broadcasted pass that mirrors
+  :class:`~repro.perfmodel.model.AnalyticModel` operation for
+  operation (same order of arithmetic, so values agree with the scalar
+  path to the last few ulps - see DESIGN.md "Vectorized market kernel"
+  for the fp-tolerance policy);
+* :func:`cost_matrix` / :func:`vcores_matrix` - Equation 2 over the
+  grid for one market;
+* :class:`MarketKernel` - per-profile performance rows memoized once
+  and shared across every utility function and market (the scalar
+  optimizer re-queried ``P(c, s)`` per utility per market), plus
+  budget-feasibility masks and the masked-argmax ``best`` that backs
+  :meth:`~repro.economics.optimizer.UtilityOptimizer.best`.
+
+Backend selection
+-----------------
+``resolve_backend(None)`` returns :data:`DEFAULT_BACKEND` - ``"numpy"``
+when numpy imports, ``"python"`` otherwise (the dependency is declared
+but this module must degrade gracefully when it is absent).  Everything
+downstream (optimizer, comparison, efficiency, auction, engine work
+units, the experiments runner) accepts ``backend=`` and threads it
+through here, keeping the scalar implementation available as the
+``"python"`` reference path for the equivalence suite.
+
+Tie-breaking contract: the scalar loops keep the *first* strictly
+greater value in (cache outer, slice inner) order; ``np.argmax`` over
+the row-major ``(cache, slice)`` array returns the first occurrence of
+the maximum - identical winners whenever values agree, which the
+equivalence tests enforce.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.perfmodel.model import (
+    ALU_PATH_FRACTION,
+    BRANCH_PENALTY_BASE,
+    BRANCH_PENALTY_MULTISLICE,
+    CACHE_GRID_KB,
+    L1_EXPOSED,
+    L1_LATENCY,
+    MEMORY_DELAY,
+    SLICE_GRID,
+    AnalyticModel,
+    ProfileLike,
+    _resolve,
+    l2_mean_latency,
+)
+
+try:  # pragma: no cover - exercised implicitly by every numpy test
+    import numpy as np
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - the no-numpy container case
+    np = None  # type: ignore[assignment]
+    HAVE_NUMPY = False
+
+#: Backend names accepted throughout the economics layer.
+BACKENDS = ("numpy", "python")
+
+#: What ``backend=None`` resolves to.
+DEFAULT_BACKEND = "numpy" if HAVE_NUMPY else "python"
+
+
+def resolve_backend(backend: Optional[str]) -> str:
+    """Validate/default a backend name.
+
+    ``None`` means :data:`DEFAULT_BACKEND`; asking for ``"numpy"``
+    without numpy installed silently degrades to ``"python"`` (same
+    numbers, scalar speed) so library code never hard-fails on the
+    optional import.
+    """
+    if backend is None:
+        return DEFAULT_BACKEND
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+    if backend == "numpy" and not HAVE_NUMPY:
+        return "python"
+    return backend
+
+
+def _require_numpy() -> None:
+    if not HAVE_NUMPY:
+        raise RuntimeError(
+            "numpy is not available; use backend='python' "
+            "(resolve_backend(None) degrades automatically)"
+        )
+
+
+# ---------------------------------------------------------------------
+# performance tensor
+# ---------------------------------------------------------------------
+
+#: Profile fields the analytic model reads, gathered into broadcast
+#: arrays of shape (B, 1, 1).
+_PROFILE_FIELDS = (
+    "ilp", "comm_sens", "br_mpki", "l1_mpki", "l2_ws_kb", "l2_floor",
+    "mlp", "frac_load", "thread_cap",
+)
+
+
+def performance_tensor(profiles: Sequence[ProfileLike],
+                       cache_grid: Sequence[float] = CACHE_GRID_KB,
+                       slice_grid: Sequence[int] = SLICE_GRID,
+                       model: Optional[AnalyticModel] = None):
+    """``P[bench, cache, slice]`` for every profile in one pass.
+
+    Mirrors :meth:`AnalyticModel.performance` arithmetic exactly
+    (operation order included), broadcast over all three axes at once.
+    """
+    _require_numpy()
+    model = model or AnalyticModel()
+    profs = [_resolve(p) for p in profiles]
+    fields = {
+        name: np.array([getattr(p, name) for p in profs],
+                       dtype=np.float64).reshape(-1, 1, 1)
+        for name in _PROFILE_FIELDS
+    }
+    cache = np.asarray(cache_grid, dtype=np.float64).reshape(1, -1, 1)
+    slices = np.asarray(slice_grid, dtype=np.float64).reshape(1, 1, -1)
+    #: Mean L2 hit latency is a pure function of the cache axis; the
+    #: ring-packing loop stays scalar (9 values), exactly as computed by
+    #: :func:`l2_mean_latency`.
+    l2_lat = np.array([l2_mean_latency(c) for c in cache_grid],
+                      dtype=np.float64).reshape(1, -1, 1)
+
+    ipc = _ipc(model, fields, cache, slices, l2_lat)
+    cap = fields["thread_cap"]
+    if np.any(cap > 0):
+        # Paper Section 5.3: PARSEC speedup over one Slice is bounded.
+        base = _ipc(model, fields, cache,
+                    np.ones((1, 1, 1), dtype=np.float64), l2_lat)
+        capped = np.minimum(ipc, cap * base)
+        ipc = np.where((cap > 0) & (slices > 1), capped, ipc)
+    return ipc
+
+
+def _ipc(model: AnalyticModel, f: Dict[str, "np.ndarray"],
+         cache: "np.ndarray", slices: "np.ndarray",
+         l2_lat: "np.ndarray") -> "np.ndarray":
+    """Broadcasted CPI pipeline; every line matches the scalar model."""
+    # --- core CPI (dependence-limited issue rate) ---
+    cross_fraction = f["comm_sens"] * (1.0 - 1.0 / slices)
+    mean_hops = (slices + 1) / 3.0
+    one_way = 1.0 + mean_hops
+    penalty = cross_fraction * one_way / model.comm_tolerance
+    ilp = np.where(slices == 1, f["ilp"], f["ilp"] / (1.0 + penalty))
+    width_cap = np.minimum(2.0 * slices, slices / ALU_PATH_FRACTION)
+    core_ipc = 1.0 / (1.0 / width_cap + 1.0 / ilp)
+    core = 1.0 / core_ipc
+
+    # --- branch CPI (mispredict refill depth) ---
+    br_penalty = np.where(
+        slices > 1,
+        BRANCH_PENALTY_BASE + BRANCH_PENALTY_MULTISLICE + (slices + 1) / 3.0,
+        BRANCH_PENALTY_BASE,
+    )
+    branch = (f["br_mpki"] / 1000.0) * br_penalty
+
+    # --- memory CPI (L1 misses through the distance-priced L2) ---
+    decay = np.exp(-cache / f["l2_ws_kb"])
+    miss = np.where(cache <= 0, 1.0,
+                    f["l2_floor"] + (1.0 - f["l2_floor"]) * decay)
+    avg = l2_lat + miss * MEMORY_DELAY
+    mlp = f["mlp"] * (
+        1.0 + model.mlp_per_slice * (f["mlp"] - 1.0)
+        * np.sqrt(slices - 1)
+    )
+    exposed_l1 = (L1_EXPOSED * L1_LATENCY * (f["frac_load"] / 0.25)
+                  / (10.0 * (1.0 + 0.3 * (slices - 1))))
+    memory = (f["l1_mpki"] / 1000.0) * avg / mlp + exposed_l1
+
+    return 1.0 / (core + branch + memory)
+
+
+# ---------------------------------------------------------------------
+# market matrices (Equation 2 over the grid)
+# ---------------------------------------------------------------------
+
+
+def cost_matrix(market, cache_grid: Sequence[float] = CACHE_GRID_KB,
+                slice_grid: Sequence[int] = SLICE_GRID):
+    """Hourly VCore cost per grid point, shape ``(cache, slice)``.
+
+    Same arithmetic order as :meth:`~repro.economics.market.Market.cost`
+    so values agree bitwise with the scalar path.
+    """
+    _require_numpy()
+    cache = np.asarray(cache_grid, dtype=np.float64).reshape(-1, 1)
+    slices = np.asarray(slice_grid, dtype=np.float64).reshape(1, -1)
+    banks = cache / 64.0
+    return (market.bank_price * banks + market.slice_price * slices
+            + market.fixed_cost)
+
+
+def vcores_matrix(market, budget: float,
+                  cache_grid: Sequence[float] = CACHE_GRID_KB,
+                  slice_grid: Sequence[int] = SLICE_GRID):
+    """Equation 2 over the grid: ``v = B / cost(c, s)``."""
+    if budget < 0:
+        raise ValueError("budget cannot be negative")
+    return budget / cost_matrix(market, cache_grid, slice_grid)
+
+
+def utility_matrix(perf, vcores, utility):
+    """``U = v^(1/k) * P^k`` elementwise (same op order as the scalar
+    :meth:`~repro.economics.utility.UtilityFunction.value`)."""
+    _require_numpy()
+    k = utility.perf_exponent
+    return (vcores ** (1.0 / k)) * (perf ** k)
+
+
+# ---------------------------------------------------------------------
+# the kernel
+# ---------------------------------------------------------------------
+
+
+class MarketKernel:
+    """Memoized utility-tensor evaluator over one configuration grid.
+
+    One kernel holds per-profile performance rows (built once, shared
+    across every utility function and market that queries them - the
+    hit/miss counters quantify the sharing) plus per-market cost
+    matrices.  ``best`` is a feasibility-masked argmax; ``utility_grid``
+    hands the full surface to Figure 14 and the pairwise studies.
+
+    ``min_vcores`` is the budget-feasibility floor: configurations whose
+    affordable replication falls below it are masked out of ``best``.
+    The default ``0.0`` keeps every configuration feasible, matching the
+    paper's continuous-``v`` treatment (and the scalar reference path).
+    """
+
+    def __init__(self, model: Optional[AnalyticModel] = None,
+                 cache_grid: Sequence[float] = CACHE_GRID_KB,
+                 slice_grid: Sequence[int] = SLICE_GRID,
+                 obs=None):
+        _require_numpy()
+        self.model = model or AnalyticModel()
+        self.cache_grid = tuple(float(c) for c in cache_grid)
+        self.slice_grid = tuple(int(s) for s in slice_grid)
+        self._perf_rows: Dict[object, "np.ndarray"] = {}
+        self._cost: Dict[Tuple[str, float, float, float], "np.ndarray"] = {}
+        from repro.obs import OBS_OFF
+
+        scope = (obs or OBS_OFF).scope("economics.kernel")
+        self._c_row_hits = scope.counter("perf_rows.hits")
+        self._c_row_misses = scope.counter("perf_rows.misses")
+        self._c_grids = scope.counter("utility_grids")
+        self._t_build = scope.timer("perf_build_s")
+
+    # -- performance rows ------------------------------------------------
+
+    def prime(self, profiles: Sequence[ProfileLike]) -> None:
+        """Batch-build performance rows for ``profiles`` in one pass."""
+        fresh = []
+        for profile in profiles:
+            prof = _resolve(profile)
+            if prof not in self._perf_rows:
+                fresh.append(prof)
+        if not fresh:
+            return
+        with self._t_build:
+            tensor = performance_tensor(fresh, self.cache_grid,
+                                        self.slice_grid, self.model)
+        for i, prof in enumerate(fresh):
+            self._perf_rows[prof] = tensor[i]
+        self._c_row_misses.inc(len(fresh))
+
+    def perf_row(self, profile: ProfileLike) -> "np.ndarray":
+        """``P(c, s)`` for one profile, shape ``(cache, slice)``."""
+        prof = _resolve(profile)
+        row = self._perf_rows.get(prof)
+        if row is not None:
+            self._c_row_hits.inc()
+            return row
+        self.prime([prof])
+        return self._perf_rows[prof]
+
+    # -- market matrices -------------------------------------------------
+
+    def market_cost(self, market) -> "np.ndarray":
+        key = (market.name, market.slice_price, market.bank_price,
+               market.fixed_cost)
+        cost = self._cost.get(key)
+        if cost is None:
+            cost = cost_matrix(market, self.cache_grid, self.slice_grid)
+            self._cost[key] = cost
+        return cost
+
+    def vcores(self, market, budget: float) -> "np.ndarray":
+        if budget < 0:
+            raise ValueError("budget cannot be negative")
+        return budget / self.market_cost(market)
+
+    def feasibility_mask(self, market, budget: float,
+                         min_vcores: float = 0.0) -> "np.ndarray":
+        """Boolean grid: configurations affordable under the budget."""
+        return self.vcores(market, budget) >= min_vcores
+
+    # -- utility surfaces and optima ------------------------------------
+
+    def utility_grid(self, profile: ProfileLike, utility, market,
+                     budget: float) -> "np.ndarray":
+        """``U(c, s)`` surface for one customer, shape ``(cache, slice)``."""
+        self._c_grids.inc()
+        return utility_matrix(self.perf_row(profile),
+                              self.vcores(market, budget), utility)
+
+    def best(self, profile: ProfileLike, utility, market, budget: float,
+             min_vcores: float = 0.0
+             ) -> Tuple[float, int, float, float, float]:
+        """Masked argmax over the grid.
+
+        Returns ``(cache_kb, slices, vcores, performance, utility)`` for
+        the feasible utility-maximising configuration; raises
+        ``ValueError`` when the mask leaves nothing feasible.
+        """
+        grid = self.utility_grid(profile, utility, market, budget)
+        if min_vcores > 0.0:
+            mask = self.feasibility_mask(market, budget, min_vcores)
+            if not mask.any():
+                raise ValueError(
+                    f"no feasible configuration for budget {budget:g} "
+                    f"with min_vcores={min_vcores:g} in {market.name}"
+                )
+            grid = np.where(mask, grid, -np.inf)
+        flat = int(np.argmax(grid))
+        ci, si = divmod(flat, len(self.slice_grid))
+        cache_kb = self.cache_grid[ci]
+        slices = self.slice_grid[si]
+        return (
+            cache_kb,
+            slices,
+            float(self.vcores(market, budget)[ci, si]),
+            float(self.perf_row(profile)[ci, si]),
+            float(grid[ci, si]),
+        )
+
+    # -- bulk helpers ----------------------------------------------------
+
+    def utility_stack(self, profiles: Sequence[ProfileLike], utility,
+                      market, budget: float) -> "np.ndarray":
+        """Stacked ``U`` surfaces, shape ``(len(profiles), cache, slice)``."""
+        self.prime(profiles)
+        perf = np.stack([self.perf_row(p) for p in profiles])
+        vcores = self.vcores(market, budget)
+        return utility_matrix(perf, vcores, utility)
+
+    def config_list(self) -> List[Tuple[float, int]]:
+        """Grid points in scalar-iteration (cache outer, slice inner)
+        order - the flat-index order of every array this kernel emits."""
+        return [(c, s) for c in self.cache_grid for s in self.slice_grid]
+
+
+def pair_gain_summary(sharing, fixed) -> Dict[str, float]:
+    """Figure 15/16 pairwise-gain summary as pure tensor reductions.
+
+    ``sharing``/``fixed`` are per-customer utility vectors; the gain of
+    pair ``(i, j)`` is ``(sharing_i + sharing_j) / (fixed_i + fixed_j)``
+    over all ``i < j``.  Matches
+    :meth:`~repro.economics.comparison.MarketEfficiencyComparison.summarize`
+    field for field without materializing any per-pair objects.
+    """
+    _require_numpy()
+    sh = np.asarray(sharing, dtype=np.float64)
+    fx = np.asarray(fixed, dtype=np.float64)
+    if sh.shape != fx.shape or sh.ndim != 1:
+        raise ValueError("sharing/fixed must be equal-length vectors")
+    n = sh.shape[0]
+    if n < 2:
+        raise ValueError("need at least two customers to form pairs")
+    i, j = np.triu_indices(n, k=1)
+    num = sh[i] + sh[j]
+    den = fx[i] + fx[j]
+    gains = np.where(den <= 0, np.inf, num / np.where(den <= 0, 1.0, den))
+    ordered = np.sort(gains)
+    count = ordered.shape[0]
+    return {
+        "pairs": count,
+        "min": float(ordered[0]),
+        "median": float(ordered[count // 2]),
+        "mean": float(ordered.mean()),
+        "max": float(ordered[-1]),
+    }
+
+
+def geometric_mean_vector(utilities_by_customer) -> "np.ndarray":
+    """Per-config geometric mean over customers via mean-of-logs.
+
+    ``utilities_by_customer`` has shape ``(customers, configs)``; all
+    values must be strictly positive (callers validate and raise the
+    naming :class:`ValueError` - see ``comparison._geometric_mean``).
+    """
+    _require_numpy()
+    arr = np.asarray(utilities_by_customer, dtype=np.float64)
+    return np.exp(np.log(arr).mean(axis=0))
+
+
+def _self_check() -> None:  # pragma: no cover - debugging helper
+    """Compare the tensor against the scalar model on every profile."""
+    from repro.trace.profiles import all_benchmarks
+
+    model = AnalyticModel()
+    names = all_benchmarks()
+    tensor = performance_tensor(names, model=model)
+    worst = 0.0
+    for bi, name in enumerate(names):
+        for ci, c in enumerate(CACHE_GRID_KB):
+            for si, s in enumerate(SLICE_GRID):
+                ref = model.performance(name, c, s)
+                got = float(tensor[bi, ci, si])
+                worst = max(worst, abs(got - ref) / ref)
+    print(f"max relative error vs scalar model: {worst:.3e}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    _self_check()

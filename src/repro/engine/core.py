@@ -125,6 +125,12 @@ class WorkUnit:
     #: runs exact.  Part of the cache key, so sampled and exact results
     #: can never alias.
     sampling: Optional[Tuple[Tuple[str, Any], ...]] = None
+    #: Evaluation backend for utility units ("python" | "numpy").
+    #: Always part of the cache key so scalar and vectorized results
+    #: can never alias; performance/simulation units stay "python"
+    #: (the backend cannot affect them, and a no-op axis would cold
+    #: their cache entries for nothing).
+    backend: str = "python"
 
     @property
     def benchmark(self) -> str:
@@ -169,6 +175,7 @@ class WorkUnit:
                            if sim_config is not None else None),
             "sampling": (list(self.sampling)
                          if self.sampling is not None else None),
+            "backend": self.backend,
         }
 
     def cache_key(self) -> str:
@@ -194,6 +201,8 @@ class SweepSpec:
     trace_length: int = 4000
     trace_seed: int = 1
     sim_config: Any = None  # Optional[SimConfig]
+    #: Backend for utility units; ``None`` keeps the scalar reference.
+    backend: Optional[str] = None
 
     def expand(self, model: Optional[AnalyticModel] = None
                ) -> List[WorkUnit]:
@@ -201,6 +210,12 @@ class SweepSpec:
         calibration = model_calibration(model or AnalyticModel())
         cache_grid = tuple(float(c) for c in self.cache_grid)
         slice_grid = tuple(int(s) for s in self.slice_grid)
+        if self.backend is None:
+            unit_backend = "python"
+        else:
+            from repro.economics.tensor import resolve_backend
+
+            unit_backend = resolve_backend(self.backend)
         units: List[WorkUnit] = []
         for bench in self.benchmarks:
             fields = profile_key(bench)
@@ -238,6 +253,7 @@ class SweepSpec:
                         utility=_norm_utility(utility),
                         market=_norm_market(market),
                         budget=float(self.budget),
+                        backend=unit_backend,
                     ))
         return units
 
@@ -316,6 +332,23 @@ def evaluate_unit(unit: WorkUnit) -> List[List[float]]:
         market = Market(name=mname, slice_price=slice_price,
                         bank_price=bank_price, fixed_cost=fixed_cost)
         model = _model()
+        if unit.backend == "numpy":
+            from repro.economics.tensor import (
+                performance_tensor,
+                utility_matrix,
+                vcores_matrix,
+            )
+
+            perf = performance_tensor([profile], unit.cache_grid,
+                                      unit.slice_grid, model=model)[0]
+            vcores = vcores_matrix(market, unit.budget, unit.cache_grid,
+                                   unit.slice_grid)
+            util = utility_matrix(perf, vcores, utility)
+            return [
+                [c, s, float(util[ci, si])]
+                for ci, c in enumerate(unit.cache_grid)
+                for si, s in enumerate(unit.slice_grid)
+            ]
         rows = []
         for c in unit.cache_grid:
             for s in unit.slice_grid:
@@ -395,7 +428,8 @@ class SweepEngine:
                  metrics: Optional[EngineMetrics] = None,
                  obs: Optional[Observability] = None,
                  timeout_s: Optional[float] = None,
-                 sampling: Any = None):
+                 sampling: Any = None,
+                 backend: Optional[str] = None):
         if jobs is not None and jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
@@ -408,6 +442,9 @@ class SweepEngine:
         #: every simulation work unit this engine schedules.  ``None``
         #: keeps simulation units exact (the default for golden paths).
         self.sampling = sampling
+        #: Backend applied to utility sweeps whose spec doesn't choose
+        #: one itself; stamped into every unit's cache key.
+        self.backend = backend
         # Pre-bound instruments: null objects when obs is off, so the
         # hot scheduling loop never branches on enablement.
         scope = self.obs.scope("engine")
@@ -436,6 +473,8 @@ class SweepEngine:
         """
         start = time.perf_counter()
         sweep_start_us = now_us()
+        if self.backend is not None and spec.backend is None:
+            spec = replace(spec, backend=self.backend)
         units = spec.expand(model)
         if self.sampling is not None:
             sampling_key = tuple(sorted(self.sampling.key_fields().items()))

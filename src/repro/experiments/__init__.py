@@ -26,6 +26,7 @@ tab7       gcc dynamic phases, dyn vs static gains
 tab8       related-work taxonomy
 parsec     PARSEC on 4 VCores with directory coherence (§3.5, §5.3)
 ablation   operand-network channel count (Section 5.1)
+datacenter 10k+ tenant market allocation at scale (extension)
 =========  ==================================================
 """
 
@@ -40,6 +41,7 @@ from repro.experiments import (  # noqa: F401
     static_comparison,
     hetero_comparison,
     datacenter_mix,
+    datacenter_scale,
     phases,
     taxonomy,
     parsec_multivcore,

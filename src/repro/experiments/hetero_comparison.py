@@ -30,11 +30,13 @@ class HeteroComparisonResult(ExperimentResult):
 
 def run(benchmarks: Optional[Sequence[str]] = None,
         comparison: Optional[MarketEfficiencyComparison] = None,
-        engine=None) -> HeteroComparisonResult:
+        engine=None,
+        backend: Optional[str] = None) -> HeteroComparisonResult:
     """Figure 16 as a frozen result."""
     start = time.perf_counter()
     comparison = comparison or MarketEfficiencyComparison(
-        list(benchmarks or all_benchmarks()), engine=engine
+        list(benchmarks or all_benchmarks()), engine=engine,
+        backend=backend,
     )
     gains = tuple(comparison.gains_vs_heterogeneous())
     per_utility = {
@@ -51,7 +53,8 @@ def run(benchmarks: Optional[Sequence[str]] = None,
     return HeteroComparisonResult(
         name=NAME,
         params={"benchmarks": list(comparison.benchmarks),
-                "market": comparison.market.name},
+                "market": comparison.market.name,
+                "backend": comparison.backend},
         rows=rows,
         elapsed=time.perf_counter() - start,
         per_utility_configs=per_utility,

@@ -35,10 +35,11 @@ def run(benchmarks: Optional[Sequence[str]] = None,
         markets: Sequence[Market] = STANDARD_MARKETS,
         utilities: Sequence[UtilityFunction] = STANDARD_UTILITIES,
         optimizer: Optional[UtilityOptimizer] = None,
-        engine=None) -> MarketsResult:
+        engine=None, backend: Optional[str] = None) -> MarketsResult:
     """Table 6 as a frozen result."""
     start = time.perf_counter()
-    optimizer = optimizer or UtilityOptimizer(engine=engine)
+    optimizer = optimizer or UtilityOptimizer(engine=engine,
+                                              backend=backend)
     benchmarks = list(benchmarks or all_benchmarks())
     raw = optimizer.table6(benchmarks, utilities, markets)
     table: MarketTable = {
@@ -55,7 +56,8 @@ def run(benchmarks: Optional[Sequence[str]] = None,
         name=NAME,
         params={"benchmarks": benchmarks,
                 "markets": [m.name for m in markets],
-                "utilities": [u.name for u in utilities]},
+                "utilities": [u.name for u in utilities],
+                "backend": optimizer.backend},
         rows=rows,
         elapsed=time.perf_counter() - start,
         table=table,

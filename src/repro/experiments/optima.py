@@ -19,6 +19,7 @@ from repro.economics.efficiency import (
     EfficiencyMetric,
     optimal_configuration,
 )
+from repro.economics.tensor import resolve_backend
 from repro.experiments.base import ExperimentResult
 from repro.trace.profiles import all_benchmarks
 
@@ -37,7 +38,7 @@ class OptimaResult(ExperimentResult):
 
 def run(benchmarks: Optional[Sequence[str]] = None,
         metrics: Sequence[EfficiencyMetric] = STANDARD_METRICS,
-        engine=None) -> OptimaResult:
+        engine=None, backend: Optional[str] = None) -> OptimaResult:
     """Table 4 as a frozen result."""
     start = time.perf_counter()
     benchmarks = list(benchmarks or all_benchmarks())
@@ -47,7 +48,8 @@ def run(benchmarks: Optional[Sequence[str]] = None,
         metric.name: {
             bench: (
                 (score := optimal_configuration(
-                    bench, metric, model=model, area_model=area_model
+                    bench, metric, model=model, area_model=area_model,
+                    backend=backend,
                 )).cache_kb,
                 score.slices,
             )
@@ -65,7 +67,8 @@ def run(benchmarks: Optional[Sequence[str]] = None,
     return OptimaResult(
         name=NAME,
         params={"benchmarks": benchmarks,
-                "metrics": [m.name for m in metrics]},
+                "metrics": [m.name for m in metrics],
+                "backend": resolve_backend(backend)},
         rows=rows,
         elapsed=time.perf_counter() - start,
         table=table,

@@ -30,11 +30,13 @@ class StaticComparisonResult(ExperimentResult):
 
 def run(benchmarks: Optional[Sequence[str]] = None,
         comparison: Optional[MarketEfficiencyComparison] = None,
-        engine=None) -> StaticComparisonResult:
+        engine=None,
+        backend: Optional[str] = None) -> StaticComparisonResult:
     """Figure 15 as a frozen result."""
     start = time.perf_counter()
     comparison = comparison or MarketEfficiencyComparison(
-        list(benchmarks or all_benchmarks()), engine=engine
+        list(benchmarks or all_benchmarks()), engine=engine,
+        backend=backend,
     )
     gains = tuple(comparison.gains_vs_static())
     summary = comparison.summarize(gains)
@@ -47,7 +49,8 @@ def run(benchmarks: Optional[Sequence[str]] = None,
     return StaticComparisonResult(
         name=NAME,
         params={"benchmarks": list(comparison.benchmarks),
-                "market": comparison.market.name},
+                "market": comparison.market.name,
+                "backend": comparison.backend},
         rows=rows,
         elapsed=time.perf_counter() - start,
         static_config=comparison.best_static_config(),

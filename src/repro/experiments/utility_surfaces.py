@@ -41,10 +41,12 @@ class UtilitySurfacesResult(ExperimentResult):
 
 def run(market: Market = MARKET2,
         optimizer: Optional[UtilityOptimizer] = None,
-        engine=None) -> UtilitySurfacesResult:
+        engine=None,
+        backend: Optional[str] = None) -> UtilitySurfacesResult:
     """Figure 14 as a frozen result."""
     start = time.perf_counter()
-    optimizer = optimizer or UtilityOptimizer(engine=engine)
+    optimizer = optimizer or UtilityOptimizer(engine=engine,
+                                              backend=backend)
     surfaces: Dict[SurfaceKey, Surface] = {}
     peaks: Dict[SurfaceKey, Tuple[float, int]] = {}
     for bench, utility in PANELS:
@@ -59,7 +61,8 @@ def run(market: Market = MARKET2,
     return UtilitySurfacesResult(
         name=NAME,
         params={"market": market.name,
-                "panels": [[b, u.name] for b, u in PANELS]},
+                "panels": [[b, u.name] for b, u in PANELS],
+                "backend": optimizer.backend},
         rows=rows,
         elapsed=time.perf_counter() - start,
         surfaces=surfaces,

@@ -1,0 +1,121 @@
+"""Equivalence tests for the indexed fabric fast paths.
+
+The fabric's placement queries were rewritten from linear tile scans to
+indexed structures (per-row free-run lists + a row-max segment tree for
+``find_contiguous_slices``, Manhattan ring expansion for
+``find_nearest_banks``).  These tests pin the new code to brute-force
+reference scans built on the public API only: over thousands of
+randomized claim/release operations, every query must return the exact
+node list the old linear scan would have, and the O(1) ``free_count``
+bookkeeping must match a full recount.
+"""
+
+import random
+
+import pytest
+
+from repro.cloud.fabric import AllocationError, Fabric, TileKind
+
+
+def ref_find_contiguous(fabric, count):
+    """Reference: scan rows left-to-right in slice-column order."""
+    slice_cols = sorted({fabric.mesh.coords(n)[0]
+                         for n in fabric.tiles(TileKind.SLICE)})
+    for y in range(fabric.mesh.height):
+        run = []
+        for x in slice_cols:
+            node = fabric.mesh.node_at(x, y)
+            if fabric.is_free(node):
+                run.append(node)
+                if len(run) == count:
+                    return run
+            else:
+                run = []
+    return None
+
+
+def ref_nearest_banks(fabric, anchor, count):
+    """Reference: sort every free bank by (distance, node id)."""
+    free = [n for n in fabric.tiles(TileKind.BANK) if fabric.is_free(n)]
+    if len(free) < count:
+        return None
+    free.sort(key=lambda n: (fabric.mesh.distance(anchor, n), n))
+    return free[:count]
+
+
+def ref_free_counts(fabric):
+    return {
+        kind: sum(1 for n in fabric.tiles(kind) if fabric.is_free(n))
+        for kind in (TileKind.SLICE, TileKind.BANK)
+    }
+
+
+@pytest.mark.parametrize("width,height,seed", [
+    (16, 8, 1),
+    (32, 16, 2),
+    (17, 5, 3),  # odd width: unbalanced slice/bank columns
+])
+def test_randomized_equivalence(width, height, seed):
+    fabric = Fabric(width=width, height=height)
+    rng = random.Random(seed)
+    owners = []
+    next_id = 0
+    for step in range(600):
+        op = rng.random()
+        if op < 0.45:
+            count = rng.randint(1, 6)
+            got = fabric.find_contiguous_slices(count)
+            assert got == ref_find_contiguous(fabric, count)
+            if got is not None:
+                owner = f"vm{next_id}"
+                next_id += 1
+                fabric.claim(got, owner)
+                owners.append(owner)
+        elif op < 0.75:
+            anchor = rng.choice(fabric.tiles(TileKind.SLICE))
+            count = rng.randint(1, 8)
+            want = ref_nearest_banks(fabric, anchor, count)
+            if want is None:
+                with pytest.raises(AllocationError):
+                    fabric.find_nearest_banks(anchor, count)
+                continue
+            got = fabric.find_nearest_banks(anchor, count)
+            assert got == want
+            if rng.random() < 0.5:
+                owner = f"vm{next_id}"
+                next_id += 1
+                fabric.claim(got, owner)
+                owners.append(owner)
+        elif owners:
+            owner = owners.pop(rng.randrange(len(owners)))
+            fabric.release(owner)
+        if step % 50 == 0:
+            want = ref_free_counts(fabric)
+            assert fabric.free_count(TileKind.SLICE) == want[TileKind.SLICE]
+            assert fabric.free_count(TileKind.BANK) == want[TileKind.BANK]
+    # Drain and verify the fabric returns to fully free.
+    for owner in owners:
+        fabric.release(owner)
+    assert fabric.free_count(TileKind.SLICE) == fabric.num_slices
+    assert fabric.free_count(TileKind.BANK) == fabric.num_banks
+    assert fabric.utilization() == 0.0
+
+
+def test_full_fabric_has_no_runs():
+    fabric = Fabric(width=8, height=4)
+    while (run := fabric.find_contiguous_slices(1)) is not None:
+        fabric.claim(run, f"vm{fabric.mesh.coords(run[0])}")
+    assert fabric.find_contiguous_slices(1) is None
+    assert fabric.free_count(TileKind.SLICE) == 0
+
+
+def test_free_count_tracks_claim_release():
+    fabric = Fabric(width=8, height=4)
+    run = fabric.find_contiguous_slices(3)
+    banks = fabric.find_nearest_banks(run[0], 2)
+    fabric.claim(run + banks, "vm0")
+    assert fabric.free_count(TileKind.SLICE) == fabric.num_slices - 3
+    assert fabric.free_count(TileKind.BANK) == fabric.num_banks - 2
+    fabric.release("vm0")
+    assert fabric.free_count(TileKind.SLICE) == fabric.num_slices
+    assert fabric.free_count(TileKind.BANK) == fabric.num_banks

@@ -1,0 +1,186 @@
+"""Scalar/vector equivalence suite (the ISSUE's acceptance contract).
+
+* tab4/tab6 optimal *configurations* must be bit-identical between
+  ``backend="python"`` and ``backend="numpy"`` - both search the grid
+  in (cache outer, slice inner) order and keep the first strict
+  maximum, so the winners agree exactly;
+* fig14/fig15/fig16 utility *values* agree within the documented fp
+  tolerance (DESIGN.md "Vectorized market kernel"): the numpy kernel
+  mirrors the scalar arithmetic op for op, so differences are a few
+  ulps;
+* the auction must take the same rounds to the same prices.
+
+``REPRO_EQUIV_SEED`` varies the randomized populations; CI runs this
+module under two seeds.
+"""
+
+import itertools
+import os
+import random
+
+import pytest
+
+pytest.importorskip("numpy")
+
+from repro.economics.auction import Bidder, SpotMarket
+from repro.economics.comparison import MarketEfficiencyComparison
+from repro.economics.efficiency import efficiency_table
+from repro.economics.market import STANDARD_MARKETS, MARKET2
+from repro.economics.optimizer import UtilityOptimizer
+from repro.economics.utility import STANDARD_UTILITIES
+from repro.trace.profiles import PROFILES
+
+#: fp tolerance for utility values between backends (see DESIGN.md):
+#: both paths use the same op order, so agreement is ulp-level; 1e-9
+#: leaves five orders of magnitude of headroom over observed 1e-15.
+VALUE_RTOL = 1e-9
+
+SEED = int(os.environ.get("REPRO_EQUIV_SEED", "0"))
+BENCHES = sorted(PROFILES)
+
+
+class TestTable6:
+    def test_configs_bit_identical(self):
+        t_py = UtilityOptimizer(backend="python").table6(
+            BENCHES, STANDARD_UTILITIES, STANDARD_MARKETS
+        )
+        t_np = UtilityOptimizer(backend="numpy").table6(
+            BENCHES, STANDARD_UTILITIES, STANDARD_MARKETS
+        )
+        assert t_py.keys() == t_np.keys()
+        for key in t_py:
+            a, b = t_py[key], t_np[key]
+            assert (a.cache_kb, a.slices) == (b.cache_kb, b.slices), key
+            assert b.utility == pytest.approx(a.utility, rel=VALUE_RTOL)
+            assert b.vcores == pytest.approx(a.vcores, rel=VALUE_RTOL)
+
+
+class TestTable4:
+    def test_configs_bit_identical(self):
+        t_py = efficiency_table(BENCHES, backend="python")
+        t_np = efficiency_table(BENCHES, backend="numpy")
+        for metric in t_py:
+            for bench in t_py[metric]:
+                a, b = t_py[metric][bench], t_np[metric][bench]
+                assert (a.cache_kb, a.slices) == (b.cache_kb, b.slices)
+                assert b.score == pytest.approx(a.score, rel=VALUE_RTOL)
+
+
+class TestFig14:
+    def test_surfaces_within_tolerance(self):
+        opt_py = UtilityOptimizer(backend="python")
+        opt_np = UtilityOptimizer(backend="numpy")
+        for bench, utility in (("gcc", STANDARD_UTILITIES[0]),
+                               ("bzip", STANDARD_UTILITIES[1])):
+            s_py = opt_py.utility_surface(bench, utility, MARKET2)
+            s_np = opt_np.utility_surface(bench, utility, MARKET2)
+            assert s_py.keys() == s_np.keys()
+            for cfg, want in s_py.items():
+                assert s_np[cfg] == pytest.approx(want, rel=VALUE_RTOL)
+            assert (max(s_py, key=s_py.get)
+                    == max(s_np, key=s_np.get))
+
+
+class TestFig15Fig16:
+    @pytest.fixture(scope="class")
+    def comparisons(self):
+        rng = random.Random(SEED)
+        benches = rng.sample(BENCHES, k=10)
+        return (
+            MarketEfficiencyComparison(benches, backend="python"),
+            MarketEfficiencyComparison(benches, backend="numpy"),
+        )
+
+    def test_reference_configs_identical(self, comparisons):
+        c_py, c_np = comparisons
+        assert c_py.best_static_config() == c_np.best_static_config()
+        for u in c_py.utilities:
+            assert (c_py.best_config_for_utility(u)
+                    == c_np.best_config_for_utility(u))
+
+    def test_pair_gains_within_tolerance(self, comparisons):
+        c_py, c_np = comparisons
+        for method in ("gains_vs_static", "gains_vs_heterogeneous"):
+            g_py = getattr(c_py, method)()
+            g_np = getattr(c_np, method)()
+            assert len(g_py) == len(g_np)
+            for a, b in zip(g_py, g_np):
+                assert (a.customer_a, a.customer_b) == (b.customer_a,
+                                                        b.customer_b)
+                assert b.gain == pytest.approx(a.gain, rel=VALUE_RTOL)
+
+    def test_summaries_within_tolerance(self, comparisons):
+        c_py, c_np = comparisons
+        for method in ("summary_vs_static", "summary_vs_heterogeneous"):
+            s_py = getattr(c_py, method)()
+            s_np = getattr(c_np, method)()
+            assert s_py["pairs"] == s_np["pairs"]
+            for k in ("min", "median", "mean", "max"):
+                assert s_np[k] == pytest.approx(s_py[k], rel=VALUE_RTOL)
+
+
+class TestAuction:
+    def test_same_rounds_same_prices(self):
+        rng = random.Random(SEED + 100)
+        bidders = [
+            Bidder(name=f"b{i}", benchmark=rng.choice(BENCHES),
+                   utility=rng.choice(STANDARD_UTILITIES),
+                   budget=rng.choice([12.0, 24.0, 48.0]))
+            for i in range(12)
+        ]
+        r_py = SpotMarket(80, 160, backend="python").clear(bidders)
+        r_np = SpotMarket(80, 160, backend="numpy").clear(bidders)
+        assert r_py.rounds == r_np.rounds
+        assert r_py.converged == r_np.converged
+        assert r_py.rationed == r_np.rationed
+        assert r_np.slice_price == pytest.approx(r_py.slice_price,
+                                                 rel=VALUE_RTOL)
+        assert r_np.bank_price == pytest.approx(r_py.bank_price,
+                                                rel=VALUE_RTOL)
+        for a, b in zip(r_py.allocations, r_np.allocations):
+            assert (a.bidder, a.cache_kb, a.slices) == (
+                b.bidder, b.cache_kb, b.slices)
+            assert b.vcores == pytest.approx(a.vcores, rel=VALUE_RTOL)
+            assert b.utility == pytest.approx(a.utility, rel=VALUE_RTOL)
+
+
+class TestEngineStamping:
+    def test_backend_in_cache_key(self):
+        from repro.engine.core import SweepSpec
+
+        spec = SweepSpec(benchmarks=("gcc",),
+                         utilities=(STANDARD_UTILITIES[0],),
+                         markets=(MARKET2,), budget=24.0)
+        u_py = SweepSpec(**{**spec.__dict__, "backend": "python"}).expand()
+        u_np = SweepSpec(**{**spec.__dict__, "backend": "numpy"}).expand()
+        assert u_py[0].backend == "python"
+        assert u_np[0].backend == "numpy"
+        assert u_py[0].cache_key() != u_np[0].cache_key()
+
+    def test_performance_units_never_stamped(self):
+        from repro.engine.core import SweepSpec
+
+        units = SweepSpec(benchmarks=("gcc",), backend="numpy").expand()
+        assert all(u.backend == "python" for u in units)
+
+    def test_engine_utility_map_values_equivalent(self, tmp_path):
+        from repro.engine import ResultCache, SweepEngine
+
+        def values(backend):
+            engine = SweepEngine(
+                jobs=1,
+                cache=ResultCache(root=str(tmp_path / backend)),
+                backend=backend,
+            )
+            result = engine.utility_map(
+                ["gcc", "bzip"], STANDARD_UTILITIES[:2], [MARKET2], 24.0
+            )
+            return result.values
+
+        g_py = values("python")
+        g_np = values("numpy")
+        assert g_py.keys() == g_np.keys()
+        for key in g_py:
+            for cfg, want in g_py[key].items():
+                assert g_np[key][cfg] == pytest.approx(want,
+                                                       rel=VALUE_RTOL)
