@@ -6,6 +6,7 @@ Commands
 ``experiment <name>``      run one artefact (fig12, tab6, ...)
 ``simulate``               one SSim run with explicit parameters
 ``optimize``               one customer's utility-maximising purchase
+``datacenter-stream``      drive the streaming allocation service
 ``list``                   benchmarks, utilities, markets, experiments
 """
 
@@ -38,6 +39,7 @@ _EXPERIMENTS = {
     "energy": "energy_delay",
     "ablation-son": "ablation_son",
     "datacenter": "datacenter_scale",
+    "datacenter-stream": "datacenter_stream",
 }
 
 
@@ -151,6 +153,34 @@ def _cmd_optimize(args) -> int:
     return 0
 
 
+def _cmd_datacenter_stream(args) -> int:
+    import json
+
+    from repro.experiments import datacenter_stream
+
+    engine = None
+    if args.shards > 1:
+        from repro.engine import SweepEngine
+        engine = SweepEngine(jobs=args.jobs)
+    floor = (args.admission_floor if args.admission_floor is not None
+             else datacenter_stream.ADMISSION_FLOOR)
+    result = datacenter_stream.run(
+        num_events=args.events,
+        seed=args.seed,
+        backend=args.backend,
+        admission_floor=floor,
+        reprice_every=args.reprice_every,
+        shards=args.shards,
+        engine=engine,
+    )
+    datacenter_stream.render(result)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(result.to_dict(), fh, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
 def _cmd_list(_args) -> int:
     print("benchmarks :", ", ".join(all_benchmarks()))
     print("utilities  :", ", ".join(u.name for u in STANDARD_UTILITIES))
@@ -234,6 +264,32 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=[m.name for m in STANDARD_MARKETS])
     opt.add_argument("--budget", type=float, default=24.0)
     opt.set_defaults(func=_cmd_optimize)
+
+    stream = sub.add_parser(
+        "datacenter-stream",
+        help="drive the streaming allocation service",
+    )
+    stream.add_argument("--events", type=int, default=20_000,
+                        help="number of submit/resize/depart events")
+    stream.add_argument("--seed", type=int, default=11)
+    stream.add_argument("--backend", choices=("numpy", "python"),
+                        default=None,
+                        help="economics backend (default numpy when "
+                             "available)")
+    stream.add_argument("--admission-floor", type=float, default=None,
+                        help="minimum utility per budget unit to admit "
+                             "a tenant")
+    stream.add_argument("--reprice-every", type=int, default=1,
+                        metavar="N", help="run a warm-started repricing "
+                        "step every N events (0 disables)")
+    stream.add_argument("--shards", type=int, default=1,
+                        help="fan independent stream shards across "
+                             "engine workers")
+    stream.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes when sharding")
+    stream.add_argument("--json", metavar="PATH", default=None,
+                        help="write the result as JSON")
+    stream.set_defaults(func=_cmd_datacenter_stream)
 
     sub.add_parser("list", help="list names").set_defaults(func=_cmd_list)
     return parser

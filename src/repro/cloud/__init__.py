@@ -12,11 +12,25 @@ from repro.cloud.hypervisor import Hypervisor
 from repro.cloud.scheduler import CloudScheduler, CustomerRequest, Placement
 from repro.cloud.autotuner import AutoTuner, TuningResult
 from repro.cloud.metaprogram import MetaProgram, PriceQuote
+from repro.cloud.service import (
+    AdmissionResult,
+    AllocationService,
+    Event,
+    StepResult,
+    StreamSummary,
+    TenantRequest,
+)
 
 __all__ = [
     "Fabric",
     "TileKind",
     "AllocationError",
+    "AllocationService",
+    "TenantRequest",
+    "Event",
+    "AdmissionResult",
+    "StepResult",
+    "StreamSummary",
     "VCoreSpec",
     "VMSpec",
     "VMInstance",

@@ -227,6 +227,28 @@ class Fabric:
     def utilization(self) -> float:
         return len(self._owner) / self.mesh.num_nodes
 
+    def max_free_run(self) -> int:
+        """Longest contiguous free Slice run on the chip - O(1)."""
+        return self._row_tree.tree[1]
+
+    def slice_fragmentation(self) -> float:
+        """How scattered the free Slice capacity is, in [0, 1].
+
+        ``1 - max_free_run / best_possible_run`` where the best possible
+        run is bounded by the row width (runs cannot span rows): 0 when
+        some row offers the longest run the free capacity could ever
+        form, approaching 1 when capacity is shredded into single-tile
+        fragments.  This is the metric the streaming allocation service
+        watches to trigger opportunistic compaction (paper Section 3:
+        "fixing fragmentation problems is as simple as rescheduling
+        Slices to VCores").
+        """
+        free = self._free_counts[TileKind.SLICE]
+        if free == 0:
+            return 0.0
+        best = min(free, len(self._slice_cols))
+        return 1.0 - self.max_free_run() / best
+
     # ------------------------------------------------------------------
     # allocation
     # ------------------------------------------------------------------

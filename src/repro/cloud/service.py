@@ -1,0 +1,796 @@
+"""The streaming allocation service: a long-lived, event-driven market.
+
+The paper evaluates its economic mechanism as a one-shot clearing
+(Section 5, Figures 14-16, Table 6), but an IaaS provider runs a
+*churning* market: tenants arrive, resize, and depart continuously.
+:class:`AllocationService` turns the batch machinery into that service.
+It owns a :class:`~repro.economics.tensor.MarketKernel`, a
+:class:`~repro.cloud.fabric.Fabric`, and the current price vector, and
+exposes an event-driven API:
+
+* :meth:`submit` - profit-aware admission at the current prices:
+  the tenant's utility-per-budget-unit must clear ``admission_floor``,
+  and their VCores must physically place on the fabric;
+* :meth:`resize` - change a tenant's budget (configurations are
+  budget-independent, so only the replication factor moves);
+* :meth:`depart` - release the tenant's tiles, with opportunistic
+  compaction when the freed capacity leaves the fabric fragmented;
+* :meth:`step` - warm-started tatonnement: prices re-converge from
+  the previous fixed point instead of from scratch, so a quiescent
+  market reprices in a single round with zero price movement;
+* :meth:`run` - drive a whole event stream.
+
+Batch clearing is now a thin wrapper: :meth:`clear_batch` replays the
+registered tenants through the same tatonnement loop with cold-start
+semantics, and :meth:`~repro.economics.auction.SpotMarket.clear`
+delegates here.  Both backends of the auction are preserved verbatim -
+the vectorized round is bit-identical to the old
+``SpotMarket._round_numpy`` (same stacked tensors in tenant-insertion
+order, same reduction order), and the scalar path keeps one fresh
+reference optimizer per bidder per round - so existing golden and
+equivalence suites pin the service-backed results unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.cloud.fabric import AllocationError, Fabric
+from repro.economics.auction import Allocation, ClearingResult, _clamp
+from repro.economics.backend import resolve_backend
+from repro.economics.market import BANK_KB, Market
+from repro.economics.optimizer import UtilityOptimizer
+from repro.economics.tensor import MarketKernel
+from repro.economics.utility import UtilityFunction
+from repro.perfmodel.model import AnalyticModel, _resolve
+
+
+@dataclass(frozen=True)
+class TenantRequest:
+    """One tenant's standing bid: who they are and what they will pay."""
+
+    name: str
+    benchmark: str
+    utility: UtilityFunction
+    budget: float
+
+    def __post_init__(self) -> None:
+        if self.budget <= 0:
+            raise ValueError("budget must be positive")
+
+
+@dataclass(frozen=True)
+class AdmissionResult:
+    """Outcome of one submit/resize event."""
+
+    tenant: str
+    admitted: bool
+    #: "admitted" | "rejected_price" | "rejected_capacity"
+    reason: str
+    cache_kb: float = 0.0
+    slices: int = 0
+    vcores: int = 0
+    #: Utility at the tenant's budget under the admission-time prices.
+    utility: float = 0.0
+    #: ``utility / budget`` - the profit-aware admission metric.
+    marginal_utility: float = 0.0
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """Outcome of one warm-started repricing round."""
+
+    rounds: int
+    converged: bool
+    rationed: bool
+    slice_price: float
+    bank_price: float
+
+
+@dataclass(frozen=True)
+class Event:
+    """One datacenter event: ``submit``, ``depart``, or ``resize``."""
+
+    kind: str
+    tenant: Optional[TenantRequest] = None
+    tenant_id: Optional[str] = None
+    budget: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("submit", "depart", "resize"):
+            raise ValueError(f"unknown event kind {self.kind!r}")
+        if self.kind == "submit" and self.tenant is None:
+            raise ValueError("submit events need a tenant")
+        if self.kind != "submit" and not self.tenant_id:
+            raise ValueError(f"{self.kind} events need a tenant_id")
+
+
+@dataclass(frozen=True)
+class StreamSummary:
+    """Aggregate outcome of :meth:`AllocationService.run`."""
+
+    events: int
+    admitted: int
+    rejected_price: int
+    rejected_capacity: int
+    departures: int
+    resizes: int
+    reprice_rounds: int
+    compactions: int
+    active_tenants: int
+    slice_price: float
+    bank_price: float
+    fragmentation: float
+
+
+class _TenantState:
+    """Internal per-tenant record (economics row + placement)."""
+
+    __slots__ = ("request", "cache_kb", "slices", "vcores",
+                 "perf_k_flat", "inv_k")
+
+    def __init__(self, request: TenantRequest, cache_kb: float = 0.0,
+                 slices: int = 0, vcores: int = 0,
+                 perf_k_flat=None, inv_k: float = 1.0):
+        self.request = request
+        self.cache_kb = cache_kb
+        self.slices = slices
+        self.vcores = vcores
+        self.perf_k_flat = perf_k_flat  # (C*S,) on the numpy backend
+        self.inv_k = inv_k
+
+
+class AllocationService:
+    """A long-lived market over one fabric: the provider's control loop.
+
+    The service holds the state the batch entry points recompute from
+    scratch - stacked per-tenant utility tensors, memoized performance
+    rows, the current price vector, and the fabric occupancy - and
+    updates it incrementally per event.  Economics-only operation
+    (``fabric=None`` with explicit supplies) backs the batch auction
+    wrapper; fabric-backed operation adds physical placement and
+    capacity-based rejection.
+    """
+
+    def __init__(self, slice_supply: Optional[float] = None,
+                 bank_supply: Optional[float] = None, *,
+                 fabric: Optional[Fabric] = None,
+                 fixed_cost: float = 8.0,
+                 model: Optional[AnalyticModel] = None,
+                 adjustment_rate: float = 0.3,
+                 tolerance: float = 0.05,
+                 max_rounds: int = 60,
+                 backend: Optional[str] = None,
+                 admission_floor: float = 0.0,
+                 max_vcores: int = 8,
+                 compaction_threshold: float = 0.5,
+                 initial_slice_price: float = 2.0,
+                 initial_bank_price: float = 1.0,
+                 kernel: Optional[MarketKernel] = None,
+                 obs=None):
+        if fabric is not None:
+            if slice_supply is None:
+                slice_supply = float(fabric.num_slices)
+            if bank_supply is None:
+                bank_supply = float(fabric.num_banks)
+        if slice_supply is None or bank_supply is None:
+            raise ValueError("need a fabric or explicit supplies")
+        if slice_supply <= 0 or bank_supply <= 0:
+            raise ValueError("supplies must be positive")
+        if not 0 < adjustment_rate < 1:
+            raise ValueError("adjustment rate must be in (0, 1)")
+        if admission_floor < 0:
+            raise ValueError("admission floor cannot be negative")
+        if max_vcores < 1:
+            raise ValueError("max_vcores must be >= 1")
+        self.fabric = fabric
+        self.slice_supply = slice_supply
+        self.bank_supply = bank_supply
+        self.fixed_cost = fixed_cost
+        self.model = model or AnalyticModel()
+        self.adjustment_rate = adjustment_rate
+        self.tolerance = tolerance
+        self.max_rounds = max_rounds
+        self.backend = resolve_backend(backend)
+        self.admission_floor = admission_floor
+        self.max_vcores = max_vcores
+        self.compaction_threshold = compaction_threshold
+        self.slice_price = initial_slice_price
+        self.bank_price = initial_bank_price
+        self.kernel: Optional[MarketKernel] = None
+        if self.backend == "numpy":
+            self.kernel = kernel or MarketKernel(model=self.model)
+            self.cache_grid = self.kernel.cache_grid
+            self.slice_grid = self.kernel.slice_grid
+        else:
+            from repro.perfmodel.model import CACHE_GRID_KB, SLICE_GRID
+
+            self.cache_grid = tuple(float(c) for c in CACHE_GRID_KB)
+            self.slice_grid = tuple(int(s) for s in SLICE_GRID)
+
+        #: Tenants in arrival order - the reduction order of every
+        #: vectorized round, so batch replay matches the old auction
+        #: bit for bit.
+        self._roster: List[_TenantState] = []
+        self._by_name: Dict[str, _TenantState] = {}
+        self._stack: Optional[dict] = None  # stacked round tensors
+        #: Bumped whenever prices move; invalidates the admission cost
+        #: row so memoization cannot grow with the event count.
+        self._price_epoch = 0
+        self._flat_cost_epoch = -1
+        self._flat_cost = None
+        self._perf_k_cache: Dict[Tuple[object, float], object] = {}
+        self._spot_market: Optional[Market] = None
+
+        from repro.obs import OBS_OFF
+
+        scope = (obs or OBS_OFF).scope("cloud.service")
+        self._c_admitted = scope.counter("admitted")
+        self._c_rejected_price = scope.counter("rejected_price")
+        self._c_rejected_capacity = scope.counter("rejected_capacity")
+        self._c_departures = scope.counter("departures")
+        self._c_resizes = scope.counter("resizes")
+        self._c_compactions = scope.counter("compactions")
+        self._c_reprice_rounds = scope.counter("reprice_rounds")
+        self._t_submit = scope.timer("submit_s")
+        self._t_depart = scope.timer("depart_s")
+        self._t_resize = scope.timer("resize_s")
+        self._t_step = scope.timer("step_s")
+        scope.gauge("active_tenants", lambda: len(self._roster))
+        # Mirrored plain tallies for stream summaries (obs may be off).
+        self._n_admitted = 0
+        self._n_rejected_price = 0
+        self._n_rejected_capacity = 0
+        self._n_departures = 0
+        self._n_resizes = 0
+        self._n_compactions = 0
+        self._n_reprice_rounds = 0
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    @property
+    def active_tenants(self) -> List[str]:
+        """Admitted tenant ids, in arrival order."""
+        return [t.request.name for t in self._roster]
+
+    def tenant(self, tenant_id: str) -> TenantRequest:
+        return self._by_name[tenant_id].request
+
+    def fragmentation(self) -> float:
+        """Current free-Slice fragmentation (0.0 without a fabric)."""
+        if self.fabric is None:
+            return 0.0
+        return self.fabric.slice_fragmentation()
+
+    def prices(self) -> Tuple[float, float]:
+        return self.slice_price, self.bank_price
+
+    def spot_market(self) -> Market:
+        """The current prices as a :class:`Market` (epoch-cached)."""
+        if (self._spot_market is None
+                or self._spot_market.slice_price != self.slice_price
+                or self._spot_market.bank_price != self.bank_price):
+            self._spot_market = Market(
+                name="spot", slice_price=self.slice_price,
+                bank_price=self.bank_price, fixed_cost=self.fixed_cost,
+            )
+        return self._spot_market
+
+    # ------------------------------------------------------------------
+    # event API
+    # ------------------------------------------------------------------
+
+    def submit(self, tenant: TenantRequest) -> AdmissionResult:
+        """Admit (or reject) one arriving tenant at the current prices.
+
+        Admission is profit-aware: the tenant's utility per unit of
+        budget at the current prices must be at least
+        ``admission_floor`` (a provider floor on willingness-to-pay
+        per delivered utility), and - with a fabric - the VCores must
+        physically place.  Admitted tenants join the market; prices
+        move on the next :meth:`step`.
+        """
+        with self._t_submit:
+            if tenant.name in self._by_name:
+                raise ValueError(f"tenant {tenant.name!r} already active")
+            cache_kb, slices, value = self._best_at_prices(tenant)
+            marginal = value / tenant.budget
+            if marginal < self.admission_floor:
+                self._c_rejected_price.inc()
+                self._n_rejected_price += 1
+                return AdmissionResult(
+                    tenant=tenant.name, admitted=False,
+                    reason="rejected_price", cache_kb=cache_kb,
+                    slices=slices, utility=value,
+                    marginal_utility=marginal,
+                )
+            affordable = self.spot_market().vcores_affordable(
+                tenant.budget, cache_kb, slices
+            )
+            vcores = max(1, min(self.max_vcores, int(affordable)))
+            if self.fabric is not None and not self._place(
+                    tenant.name, cache_kb, slices, vcores):
+                self._c_rejected_capacity.inc()
+                self._n_rejected_capacity += 1
+                return AdmissionResult(
+                    tenant=tenant.name, admitted=False,
+                    reason="rejected_capacity", cache_kb=cache_kb,
+                    slices=slices, vcores=vcores, utility=value,
+                    marginal_utility=marginal,
+                )
+            self._register(tenant, cache_kb=cache_kb, slices=slices,
+                           vcores=vcores)
+            self._c_admitted.inc()
+            self._n_admitted += 1
+            return AdmissionResult(
+                tenant=tenant.name, admitted=True, reason="admitted",
+                cache_kb=cache_kb, slices=slices, vcores=vcores,
+                utility=value, marginal_utility=marginal,
+            )
+
+    def depart(self, tenant_id: str) -> None:
+        """Remove a tenant: free their tiles, maybe compact, mark
+        prices stale."""
+        with self._t_depart:
+            state = self._by_name.pop(tenant_id, None)
+            if state is None:
+                raise KeyError(f"unknown tenant {tenant_id!r}")
+            self._roster.remove(state)
+            self._stack = None
+            self._c_departures.inc()
+            self._n_departures += 1
+            if self.fabric is not None:
+                self.fabric.release(tenant_id)
+                if (self.fabric.slice_fragmentation()
+                        > self.compaction_threshold):
+                    self._compact()
+
+    def resize(self, tenant_id: str, budget: float) -> AdmissionResult:
+        """Change a tenant's budget.
+
+        Optimal configurations are budget-independent (``U(B) =
+        B^(1/k) * U(1)``), so only the replication factor moves: the
+        tenant keeps their ``(cache, slices)`` shape and is re-placed
+        with the new VCore count.  A resize the fabric cannot absorb is
+        rejected and the old placement restored exactly.
+        """
+        if budget <= 0:
+            raise ValueError("budget must be positive")
+        with self._t_resize:
+            state = self._by_name.get(tenant_id)
+            if state is None:
+                raise KeyError(f"unknown tenant {tenant_id!r}")
+            affordable = self.spot_market().vcores_affordable(
+                budget, state.cache_kb, state.slices
+            )
+            vcores = max(1, min(self.max_vcores, int(affordable)))
+            if self.fabric is not None and vcores != state.vcores:
+                snapshot = self.fabric.owned_by(tenant_id)
+                self.fabric.release(tenant_id)
+                if not self._place(tenant_id, state.cache_kb,
+                                   state.slices, vcores):
+                    # Those exact tiles were just freed: claiming the
+                    # snapshot back always succeeds.
+                    self.fabric.claim(snapshot, tenant_id)
+                    self._n_rejected_capacity += 1
+                    self._c_rejected_capacity.inc()
+                    return AdmissionResult(
+                        tenant=tenant_id, admitted=False,
+                        reason="rejected_capacity",
+                        cache_kb=state.cache_kb, slices=state.slices,
+                        vcores=vcores,
+                    )
+            old_budget = state.request.budget
+            state.request = TenantRequest(
+                name=state.request.name,
+                benchmark=state.request.benchmark,
+                utility=state.request.utility, budget=budget,
+            )
+            state.vcores = vcores
+            if budget != old_budget:
+                self._stack = None
+            self._c_resizes.inc()
+            self._n_resizes += 1
+            return AdmissionResult(
+                tenant=tenant_id, admitted=True, reason="admitted",
+                cache_kb=state.cache_kb, slices=state.slices,
+                vcores=vcores,
+            )
+
+    def step(self) -> StepResult:
+        """Warm-started tatonnement from the current price vector.
+
+        Unlike cold batch clearing (which demands at least two rounds
+        before accepting convergence), a warm step may converge in a
+        single round: at a fixed point demand is already within
+        tolerance and prices do not move at all, which is what makes
+        submit+depart of the same tenant return *exactly* to the
+        pre-submit prices.
+        """
+        with self._t_step:
+            if not self._roster:
+                return StepResult(rounds=0, converged=True,
+                                  rationed=False,
+                                  slice_price=self.slice_price,
+                                  bank_price=self.bank_price)
+            out = self._tatonnement(self.slice_price, self.bank_price,
+                                    min_rounds=1)
+            self._set_prices(out["slice_price"], out["bank_price"])
+            self._c_reprice_rounds.inc(out["rounds"])
+            self._n_reprice_rounds += out["rounds"]
+            return StepResult(rounds=out["rounds"],
+                              converged=out["converged"],
+                              rationed=out["rationed"],
+                              slice_price=self.slice_price,
+                              bank_price=self.bank_price)
+
+    def apply(self, event: Event):
+        """Dispatch one :class:`Event` to the matching method."""
+        if event.kind == "submit":
+            return self.submit(event.tenant)
+        if event.kind == "depart":
+            return self.depart(event.tenant_id)
+        return self.resize(event.tenant_id, event.budget)
+
+    def run(self, events: Iterable[Event],
+            reprice_every: int = 1) -> StreamSummary:
+        """Drive a stream of events, repricing every ``reprice_every``
+        events (0 disables automatic repricing)."""
+        count = 0
+        for event in events:
+            self.apply(event)
+            count += 1
+            if reprice_every and count % reprice_every == 0:
+                self.step()
+        return self.summary(events=count)
+
+    def summary(self, events: int = 0) -> StreamSummary:
+        return StreamSummary(
+            events=events,
+            admitted=self._n_admitted,
+            rejected_price=self._n_rejected_price,
+            rejected_capacity=self._n_rejected_capacity,
+            departures=self._n_departures,
+            resizes=self._n_resizes,
+            reprice_rounds=self._n_reprice_rounds,
+            compactions=self._n_compactions,
+            active_tenants=len(self._roster),
+            slice_price=self.slice_price,
+            bank_price=self.bank_price,
+            fragmentation=self.fragmentation(),
+        )
+
+    # ------------------------------------------------------------------
+    # batch compatibility (the old one-shot auction)
+    # ------------------------------------------------------------------
+
+    def register(self, tenant: TenantRequest) -> None:
+        """Add a tenant without admission control or placement - the
+        batch-replay path (every bidder participates unconditionally,
+        exactly as in the one-shot auction)."""
+        self._register(tenant)
+
+    def clear_batch(self, initial_slice_price: float = 2.0,
+                    initial_bank_price: float = 1.0) -> ClearingResult:
+        """Cold-start clearing over the registered tenants.
+
+        Replays the old ``SpotMarket._clear`` loop - same initial
+        prices, same two-round convergence minimum, same backends -
+        and leaves the service's price vector at the clearing point,
+        so a subsequent :meth:`step` warm-starts from it.
+        """
+        if not self._roster:
+            raise ValueError("need at least one bidder")
+        out = self._tatonnement(initial_slice_price, initial_bank_price,
+                                min_rounds=2)
+        self._set_prices(out["slice_price"], out["bank_price"])
+        return ClearingResult(
+            slice_price=out["slice_price"],
+            bank_price=out["bank_price"],
+            rounds=out["rounds"],
+            converged=out["converged"],
+            allocations=out["allocations"],
+            slice_supply=self.slice_supply,
+            bank_supply=self.bank_supply,
+            rationed=out["rationed"],
+        )
+
+    # ------------------------------------------------------------------
+    # internals: admission economics
+    # ------------------------------------------------------------------
+
+    def _best_at_prices(self, tenant: TenantRequest
+                        ) -> Tuple[float, int, float]:
+        """``(cache_kb, slices, utility_at_budget)`` at current prices.
+
+        The numpy path works on epoch-cached flat tensors instead of
+        binding a throwaway :class:`Market` into the kernel: price
+        vectors change continuously, so per-market memoization would
+        grow without bound over an event stream.
+        """
+        if self.backend == "numpy":
+            import numpy as np
+
+            k = tenant.utility.perf_exponent
+            perf_k = self._perf_k(tenant.benchmark, k)
+            cost = self._flat_cost_row()
+            vcores = tenant.budget / cost
+            utility = (vcores ** (1.0 / k)) * perf_k
+            winner = int(np.argmax(utility))
+            ci, si = divmod(winner, len(self.slice_grid))
+            return (self.cache_grid[ci], self.slice_grid[si],
+                    float(utility[winner]))
+        optimizer = UtilityOptimizer(model=self.model,
+                                     budget=tenant.budget,
+                                     backend="python")
+        choice = optimizer.best(tenant.benchmark, tenant.utility,
+                                self.spot_market())
+        return choice.cache_kb, choice.slices, choice.utility
+
+    def _perf_k(self, benchmark, k: float):
+        """Flat ``P(c, s)^k`` row, memoized per (profile, exponent)."""
+        prof = _resolve(benchmark)
+        key = (prof, k)
+        row = self._perf_k_cache.get(key)
+        if row is None:
+            row = (self.kernel.perf_row(prof) ** k).ravel()
+            self._perf_k_cache[key] = row
+        return row
+
+    def _flat_cost_row(self):
+        """Flat per-VCore cost over the grid at the current prices."""
+        if self._flat_cost_epoch != self._price_epoch:
+            import numpy as np
+
+            cache = np.asarray(self.cache_grid, dtype=float)
+            slices = np.asarray(self.slice_grid, dtype=float)
+            cost = (self.bank_price * (cache / BANK_KB)[:, None]
+                    + self.slice_price * slices[None, :]
+                    + self.fixed_cost)
+            self._flat_cost = cost.reshape(-1)
+            self._flat_cost_epoch = self._price_epoch
+        return self._flat_cost
+
+    def _set_prices(self, slice_price: float, bank_price: float) -> None:
+        if (slice_price != self.slice_price
+                or bank_price != self.bank_price):
+            self.slice_price = slice_price
+            self.bank_price = bank_price
+            self._price_epoch += 1
+
+    def _register(self, tenant: TenantRequest, cache_kb: float = 0.0,
+                  slices: int = 0, vcores: int = 0) -> None:
+        state = _TenantState(tenant, cache_kb=cache_kb, slices=slices,
+                             vcores=vcores)
+        if self.backend == "numpy":
+            k = tenant.utility.perf_exponent
+            state.perf_k_flat = self._perf_k(tenant.benchmark, k)
+            state.inv_k = 1.0 / k
+        self._roster.append(state)
+        self._by_name[tenant.name] = state
+        self._stack = None
+
+    # ------------------------------------------------------------------
+    # internals: tatonnement (shared with the batch auction)
+    # ------------------------------------------------------------------
+
+    def _numpy_state(self) -> dict:
+        """Stacked round tensors over the roster, in arrival order.
+
+        Values are bit-identical to ``SpotMarket._prepare_numpy``:
+        ``perf ** k`` is an elementwise ufunc, so stacking
+        per-tenant ``P^k`` rows equals exponentiating the stacked
+        tensor, and every later reduction runs in the same array
+        order.
+        """
+        if self._stack is None:
+            import numpy as np
+
+            cache = np.asarray(self.cache_grid, dtype=float)
+            slices = np.asarray(self.slice_grid, dtype=float)
+            self._stack = {
+                "perf_k": np.stack([t.perf_k_flat
+                                    for t in self._roster]),
+                "inv_k": np.array([t.inv_k
+                                   for t in self._roster])[:, None],
+                "budgets": np.array([t.request.budget
+                                     for t in self._roster])[:, None],
+                "slices_row": slices[None, :],
+                "banks_row": (cache / BANK_KB)[:, None],
+                "n_slices": len(self.slice_grid),
+            }
+        return self._stack
+
+    def _round_numpy(self, state: dict, slice_price: float,
+                     bank_price: float):
+        """One vectorized best-response round (the old auction's,
+        verbatim, over the incrementally maintained stack)."""
+        import numpy as np
+
+        cost = (bank_price * state["banks_row"]
+                + slice_price * state["slices_row"] + self.fixed_cost)
+        flat_cost = cost.reshape(1, -1)
+        vcores = state["budgets"] / flat_cost
+        utility = (vcores ** state["inv_k"]) * state["perf_k"]
+        winner = np.argmax(utility, axis=1)
+        rows = np.arange(utility.shape[0])
+        v_best = vcores[rows, winner]
+        ci, si = np.divmod(winner, state["n_slices"])
+        slices_per = state["slices_row"][0, si]
+        banks_per = state["banks_row"][ci, 0]
+        slice_demand = float(np.sum(v_best * slices_per))
+        bank_demand = float(np.sum(v_best * banks_per))
+        choices = {
+            "winner": winner,
+            "vcores": v_best,
+            "utility": utility[rows, winner],
+            "ci": ci,
+            "si": si,
+        }
+        return choices, slice_demand, bank_demand
+
+    def _demands_python(self, slice_price: float,
+                        bank_price: float) -> List[Allocation]:
+        """Scalar reference round: one fresh best-response optimizer
+        per tenant (the old auction's reference path, verbatim)."""
+        market = Market(name="spot", slice_price=slice_price,
+                        bank_price=bank_price,
+                        fixed_cost=self.fixed_cost)
+        allocations = []
+        for state in self._roster:
+            request = state.request
+            optimizer = UtilityOptimizer(model=self.model,
+                                         budget=request.budget,
+                                         backend="python")
+            choice = optimizer.best(request.benchmark, request.utility,
+                                    market)
+            allocations.append(Allocation(
+                bidder=request.name,
+                cache_kb=choice.cache_kb,
+                slices=choice.slices,
+                vcores=choice.vcores,
+                utility=choice.utility,
+            ))
+        return allocations
+
+    def _allocations_from(self, choices: dict) -> List[Allocation]:
+        return [
+            Allocation(
+                bidder=state.request.name,
+                cache_kb=self.cache_grid[int(choices["ci"][i])],
+                slices=self.slice_grid[int(choices["si"][i])],
+                vcores=float(choices["vcores"][i]),
+                utility=float(choices["utility"][i]),
+            )
+            for i, state in enumerate(self._roster)
+        ]
+
+    def _tatonnement(self, slice_price: float, bank_price: float,
+                     min_rounds: int) -> dict:
+        """Damped price adjustment until excess demand is tolerable.
+
+        ``min_rounds=2`` reproduces the batch auction's cold-start
+        contract (never accept the arbitrary initial prices unseen);
+        ``min_rounds=1`` is the warm-start mode, where converging on
+        the very first round leaves prices untouched.
+        """
+        vectorized = self.backend == "numpy"
+        state = self._numpy_state() if vectorized else None
+        allocations: List[Allocation] = []
+        choices: Optional[dict] = None
+        converged = False
+        rationed = False
+        stable_rounds = 0
+        last_demand = (None, None)
+        rounds = 0
+        for rounds in range(1, self.max_rounds + 1):
+            if vectorized:
+                choices, slice_demand, bank_demand = self._round_numpy(
+                    state, slice_price, bank_price
+                )
+            else:
+                allocations = self._demands_python(slice_price,
+                                                   bank_price)
+                slice_demand = sum(a.slices_demanded
+                                   for a in allocations)
+                bank_demand = sum(a.banks_demanded for a in allocations)
+            slice_excess = slice_demand / self.slice_supply - 1.0
+            bank_excess = bank_demand / self.bank_supply - 1.0
+            # Cleared: no over-demand on either resource (free
+            # disposal; see the auction module for the rationale).
+            floor = 0.01
+            no_overdemand = (slice_excess <= self.tolerance
+                             and bank_excess <= self.tolerance)
+            at_floor = (slice_price <= floor * 1.01
+                        and bank_price <= floor * 1.01)
+            if rounds >= min_rounds and no_overdemand and (
+                slice_excess >= -self.tolerance
+                or bank_excess >= -self.tolerance
+                or at_floor
+            ):
+                converged = True
+                break
+            # Lumpy demand: settle and ration after 5 stable rounds.
+            demand = (round(slice_demand, 1), round(bank_demand, 1))
+            stable_rounds = (stable_rounds + 1 if demand == last_demand
+                             else 0)
+            last_demand = demand
+            if stable_rounds >= 5:
+                converged = True
+                rationed = not no_overdemand
+                break
+            k = self.adjustment_rate / (1.0 + rounds / 40.0)
+            slice_price = max(
+                floor, slice_price * math.exp(k * _clamp(slice_excess)))
+            bank_price = max(
+                floor, bank_price * math.exp(k * _clamp(bank_excess)))
+        if vectorized and choices is not None:
+            allocations = self._allocations_from(choices)
+        return {
+            "slice_price": slice_price,
+            "bank_price": bank_price,
+            "rounds": rounds,
+            "converged": converged,
+            "rationed": rationed,
+            "allocations": allocations,
+        }
+
+    # ------------------------------------------------------------------
+    # internals: fabric placement
+    # ------------------------------------------------------------------
+
+    def _place(self, owner: str, cache_kb: float, slices: int,
+               vcores: int) -> bool:
+        """Place ``vcores`` VCores of one shape; all-or-nothing."""
+        banks_per = int(round(cache_kb / BANK_KB))
+        for _ in range(vcores):
+            run = self.fabric.find_contiguous_slices(slices)
+            if run is None:
+                self.fabric.release(owner)
+                return False
+            try:
+                self.fabric.claim(run, owner)
+                if banks_per:
+                    banks = self.fabric.find_nearest_banks(run[0],
+                                                           banks_per)
+                    self.fabric.claim(banks, owner)
+            except AllocationError:
+                self.fabric.release(owner)
+                return False
+        return True
+
+    def _compact(self) -> None:
+        """Opportunistic defragmentation after a departure.
+
+        Paper Section 3: all Slices are interchangeable, so "fixing
+        fragmentation problems is as simple as rescheduling Slices to
+        VCores".  Every placement is lifted and re-packed widest-VCore
+        first; if the re-pack cannot place someone (first-fit is not
+        optimal), the exact previous tiling is restored - the tiles
+        were only ever released, so the snapshot is always claimable.
+        """
+        snapshot = {
+            t.request.name: self.fabric.owned_by(t.request.name)
+            for t in self._roster
+        }
+        order = sorted(
+            self._roster,
+            key=lambda t: (-t.slices, -t.vcores, t.request.name),
+        )
+        for state in self._roster:
+            self.fabric.release(state.request.name)
+        for state in order:
+            if not self._place(state.request.name, state.cache_kb,
+                               state.slices, state.vcores):
+                for other in order:
+                    self.fabric.release(other.request.name)
+                for name, nodes in snapshot.items():
+                    if nodes:
+                        self.fabric.claim(nodes, name)
+                return
+        self._c_compactions.inc()
+        self._n_compactions += 1

@@ -48,13 +48,13 @@ from repro.economics.comparison import (
     PairGain,
 )
 from repro.economics.phases_analysis import PhaseScheduleResult, analyze_phases
-from repro.economics.tensor import (
+from repro.economics.backend import (
     BACKENDS,
     DEFAULT_BACKEND,
     HAVE_NUMPY,
-    MarketKernel,
     resolve_backend,
 )
+from repro.economics.tensor import MarketKernel
 
 __all__ = [
     "UtilityFunction",

@@ -32,15 +32,13 @@ shared verbatim between the two.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
-from repro.economics.market import Market
-from repro.economics.optimizer import UtilityOptimizer
-from repro.economics.tensor import MarketKernel, resolve_backend
+from repro.economics.backend import resolve_backend
+from repro.economics.tensor import MarketKernel
 from repro.economics.utility import UtilityFunction
-from repro.perfmodel.model import AnalyticModel, _resolve
+from repro.perfmodel.model import AnalyticModel
 
 
 @dataclass(frozen=True)
@@ -146,186 +144,49 @@ class SpotMarket:
         self._t_clear = scope.timer("clear_s")
         self._kernel: Optional[MarketKernel] = None
 
-    def _demands(self, bidders: Sequence[Bidder], slice_price: float,
-                 bank_price: float) -> List[Allocation]:
-        """Scalar reference: one best-response optimizer per bidder."""
-        market = Market(name="spot", slice_price=slice_price,
-                        bank_price=bank_price, fixed_cost=self.fixed_cost)
-        allocations = []
-        for bidder in bidders:
-            optimizer = UtilityOptimizer(model=self.model,
-                                         budget=bidder.budget,
-                                         backend="python")
-            choice = optimizer.best(bidder.benchmark, bidder.utility, market)
-            allocations.append(Allocation(
-                bidder=bidder.name,
-                cache_kb=choice.cache_kb,
-                slices=choice.slices,
-                vcores=choice.vcores,
-                utility=choice.utility,
-            ))
-        return allocations
-
-    # ------------------------------------------------------------------
-    # vectorized best responses (numpy backend)
-    # ------------------------------------------------------------------
-
-    def _prepare_numpy(self, bidders: Sequence[Bidder]) -> dict:
-        """Stack per-bidder state into round-reusable tensors."""
-        import numpy as np
-
-        if self._kernel is None:
-            self._kernel = MarketKernel(model=self.model)
-        kernel = self._kernel
-        profiles = [_resolve(b.benchmark) for b in bidders]
-        kernel.prime(profiles)
-        perf = np.stack([kernel.perf_row(p) for p in profiles])
-        k = np.array([b.utility.perf_exponent for b in bidders])
-        budgets = np.array([b.budget for b in bidders])
-        cache = np.asarray(kernel.cache_grid, dtype=float)
-        slices = np.asarray(kernel.slice_grid, dtype=float)
-        return {
-            "perf": perf,                       # (n, C, S)
-            "perf_k": perf ** k[:, None, None],  # (n, C, S), round-invariant
-            "inv_k": (1.0 / k)[:, None],         # (n, 1)
-            "budgets": budgets[:, None],         # (n, 1)
-            "slices_row": slices[None, :],       # broadcast (C, S) pieces
-            "banks_row": (cache / 64.0)[:, None],
-            "n_slices": len(kernel.slice_grid),
-        }
-
-    def _round_numpy(self, state: dict, slice_price: float,
-                     bank_price: float):
-        """One tatonnement round for every bidder at once.
-
-        Returns ``(choices, slice_demand, bank_demand)`` where
-        ``choices`` holds flat per-bidder argmax indices plus the vcores
-        and utility columns needed to build :class:`Allocation` objects
-        for the final round only.
-        """
-        import numpy as np
-
-        # Same op order as Market.cost: banks*C_b + slices*C_s + fixed.
-        cost = (bank_price * state["banks_row"]
-                + slice_price * state["slices_row"] + self.fixed_cost)
-        flat_cost = cost.reshape(1, -1)               # (1, C*S)
-        vcores = state["budgets"] / flat_cost          # (n, C*S)
-        n = state["perf"].shape[0]
-        utility = (vcores ** state["inv_k"]) * state["perf_k"].reshape(n, -1)
-        winner = np.argmax(utility, axis=1)            # first max: scalar tie order
-        rows = np.arange(n)
-        v_best = vcores[rows, winner]
-        ci, si = np.divmod(winner, state["n_slices"])
-        slices_per = state["slices_row"][0, si]
-        banks_per = state["banks_row"][ci, 0]
-        slice_demand = float(np.sum(v_best * slices_per))
-        bank_demand = float(np.sum(v_best * banks_per))
-        choices = {
-            "winner": winner,
-            "vcores": v_best,
-            "utility": utility[rows, winner],
-            "ci": ci,
-            "si": si,
-        }
-        return choices, slice_demand, bank_demand
-
-    def _allocations_from(self, bidders: Sequence[Bidder], state: dict,
-                          choices: dict) -> List[Allocation]:
-        kernel = self._kernel
-        assert kernel is not None
-        return [
-            Allocation(
-                bidder=b.name,
-                cache_kb=kernel.cache_grid[int(choices["ci"][i])],
-                slices=kernel.slice_grid[int(choices["si"][i])],
-                vcores=float(choices["vcores"][i]),
-                utility=float(choices["utility"][i]),
-            )
-            for i, b in enumerate(bidders)
-        ]
-
     def clear(self, bidders: Sequence[Bidder],
               initial_slice_price: float = 2.0,
               initial_bank_price: float = 1.0) -> ClearingResult:
-        """Iterate prices until excess demand is within tolerance."""
+        """Iterate prices until excess demand is within tolerance.
+
+        Since the streaming redesign this is a thin wrapper: the
+        bidders are replayed as an arrival-only event stream into an
+        economics-only :class:`~repro.cloud.service.AllocationService`,
+        whose cold-start tatonnement reproduces the historical loop
+        bit for bit (same stacked tensors in bidder order on numpy,
+        same per-bidder reference optimizers on python, same two-round
+        convergence minimum).
+        """
         if not bidders:
             raise ValueError("need at least one bidder")
         with self._t_clear:
-            return self._clear(bidders, initial_slice_price,
-                               initial_bank_price)
+            # Imported here, not at module level: the service imports
+            # this module's dataclasses.
+            from repro.cloud.service import AllocationService, TenantRequest
 
-    def _clear(self, bidders: Sequence[Bidder],
-               initial_slice_price: float,
-               initial_bank_price: float) -> ClearingResult:
-        vectorized = self.backend == "numpy"
-        state = self._prepare_numpy(bidders) if vectorized else None
-        slice_price = initial_slice_price
-        bank_price = initial_bank_price
-        allocations: List[Allocation] = []
-        choices: Optional[dict] = None
-        converged = False
-        rationed = False
-        stable_rounds = 0
-        last_demand = (None, None)
-        rounds = 0
-        for rounds in range(1, self.max_rounds + 1):
-            self._c_rounds.inc()
-            self._c_bids.inc(len(bidders))
-            if vectorized:
-                choices, slice_demand, bank_demand = self._round_numpy(
-                    state, slice_price, bank_price
-                )
-            else:
-                allocations = self._demands(bidders, slice_price, bank_price)
-                slice_demand = sum(a.slices_demanded for a in allocations)
-                bank_demand = sum(a.banks_demanded for a in allocations)
-            slice_excess = slice_demand / self.slice_supply - 1.0
-            bank_excess = bank_demand / self.bank_supply - 1.0
-            # Cleared: no over-demand on either resource.  Under-demand
-            # is acceptable (free disposal): with excess supply the
-            # competitive price falls toward the floor and idle capacity
-            # simply stays idle - the provider cannot force customers to
-            # buy.
-            floor = 0.01
-            no_overdemand = (slice_excess <= self.tolerance
-                             and bank_excess <= self.tolerance)
-            at_floor = slice_price <= floor * 1.01 and bank_price <= floor * 1.01
-            if rounds > 1 and no_overdemand and (
-                slice_excess >= -self.tolerance
-                or bank_excess >= -self.tolerance
-                or at_floor
-            ):
-                converged = True
-                break
-            # Lumpy demand: optima move in grid steps, so demand can be
-            # price-insensitive over a band.  If it has not moved for
-            # several rounds the price has settled - accept and ration.
-            demand = (round(slice_demand, 1), round(bank_demand, 1))
-            stable_rounds = stable_rounds + 1 if demand == last_demand else 0
-            last_demand = demand
-            if stable_rounds >= 5:
-                converged = True
-                rationed = not no_overdemand
-                break
-            # Mildly damped tatonnement: over-demand raises a price,
-            # under-demand lowers it toward the floor.
-            k = self.adjustment_rate / (1.0 + rounds / 40.0)
-            slice_price = max(floor,
-                              slice_price * math.exp(k * _clamp(slice_excess)))
-            bank_price = max(floor,
-                             bank_price * math.exp(k * _clamp(bank_excess)))
-        if vectorized and choices is not None:
-            allocations = self._allocations_from(bidders, state, choices)
-        return ClearingResult(
-            slice_price=slice_price,
-            bank_price=bank_price,
-            rounds=rounds,
-            converged=converged,
-            allocations=allocations,
-            slice_supply=self.slice_supply,
-            bank_supply=self.bank_supply,
-            rationed=rationed,
-        )
+            service = AllocationService(
+                slice_supply=self.slice_supply,
+                bank_supply=self.bank_supply,
+                fixed_cost=self.fixed_cost,
+                model=self.model,
+                adjustment_rate=self.adjustment_rate,
+                tolerance=self.tolerance,
+                max_rounds=self.max_rounds,
+                backend=self.backend,
+                kernel=self._kernel,
+            )
+            for bidder in bidders:
+                service.register(TenantRequest(
+                    name=bidder.name, benchmark=bidder.benchmark,
+                    utility=bidder.utility, budget=bidder.budget,
+                ))
+            result = service.clear_batch(initial_slice_price,
+                                         initial_bank_price)
+            # Keep the kernel so repeated clears share performance rows.
+            self._kernel = service.kernel
+            self._c_rounds.inc(result.rounds)
+            self._c_bids.inc(result.rounds * len(bidders))
+            return result
 
 
 def _clamp(x: float, bound: float = 2.0) -> float:

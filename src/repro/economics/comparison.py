@@ -32,13 +32,10 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.economics.backend import HAVE_NUMPY, resolve_backend
 from repro.economics.market import MARKET2, Market
 from repro.economics.optimizer import UtilityOptimizer
-from repro.economics.tensor import (
-    HAVE_NUMPY,
-    pair_gain_summary,
-    resolve_backend,
-)
+from repro.economics.tensor import pair_gain_summary
 from repro.economics.utility import STANDARD_UTILITIES, UtilityFunction
 
 if HAVE_NUMPY:
@@ -141,9 +138,9 @@ class MarketEfficiencyComparison:
             for u in self.utilities
         ]
         if self.backend == "numpy" and self.optimizer.kernel is not None:
-            kernel = self.optimizer.kernel
+            kernel = self.optimizer.kernel.for_market(self.market)
             rows = [
-                kernel.utility_grid(c.benchmark, c.utility, self.market,
+                kernel.utility_grid(c.benchmark, c.utility,
                                     self.optimizer.budget).ravel()
                 for c in fresh
             ]

@@ -19,7 +19,8 @@ from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
 from repro.area.model import AreaModel
-from repro.economics.tensor import performance_tensor, resolve_backend
+from repro.economics.backend import resolve_backend
+from repro.economics.tensor import performance_tensor
 from repro.perfmodel.model import (
     AnalyticModel,
     CACHE_GRID_KB,

@@ -29,8 +29,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
+from repro.economics.backend import resolve_backend
 from repro.economics.market import Market
-from repro.economics.tensor import MarketKernel, resolve_backend
+from repro.economics.tensor import MarketKernel
 from repro.economics.utility import UtilityFunction
 from repro.perfmodel.model import (
     AnalyticModel,
@@ -155,9 +156,9 @@ class UtilityOptimizer:
         """The utility-maximising configuration for one customer."""
         name = _resolve(benchmark).name
         if self._kernel is not None:
-            cache_kb, slices, vcores, perf, value = self._kernel.best(
-                benchmark, utility, market, self.budget
-            )
+            cache_kb, slices, vcores, perf, value = self._kernel.for_market(
+                market
+            ).best(benchmark, utility, self.budget)
             return OptimalChoice(
                 benchmark=name,
                 utility_name=utility.name,
@@ -211,8 +212,8 @@ class UtilityOptimizer:
                         market: Market) -> Dict[Tuple[float, int], float]:
         """Figure 14: the full utility surface over (cache, slices)."""
         if self._kernel is not None:
-            grid = self._kernel.utility_grid(benchmark, utility, market,
-                                             self.budget)
+            grid = self._kernel.for_market(market).utility_grid(
+                benchmark, utility, self.budget)
             return {
                 (cache_kb, slices): float(grid[ci, si])
                 for ci, cache_kb in enumerate(self.cache_grid)

@@ -23,13 +23,25 @@ Python loops; this module materializes it as numpy arrays instead:
 
 Backend selection
 -----------------
-``resolve_backend(None)`` returns :data:`DEFAULT_BACKEND` - ``"numpy"``
-when numpy imports, ``"python"`` otherwise (the dependency is declared
-but this module must degrade gracefully when it is absent).  Everything
-downstream (optimizer, comparison, efficiency, auction, engine work
-units, the experiments runner) accepts ``backend=`` and threads it
-through here, keeping the scalar implementation available as the
-``"python"`` reference path for the equivalence suite.
+Backend selection lives in :mod:`repro.economics.backend` - the single
+shared entry point every layer (optimizer, comparison, efficiency,
+auction, allocation service, engine work units, both CLIs) routes its
+``backend=`` keyword through.  ``resolve_backend`` is still importable
+from this module for one release, but doing so emits a
+``DeprecationWarning``; new code should import it from
+``repro.economics.backend``.
+
+Market binding
+--------------
+A :class:`MarketKernel` may be *bound* to one market at construction
+(``MarketKernel(market=...)``), after which ``market_cost()``,
+``vcores(budget)``, ``utility_grid(profile, utility, budget)`` and
+``best(profile, utility, budget)`` need no market argument.
+:meth:`MarketKernel.for_market` derives a bound view that shares the
+memoized performance rows and cost matrices, which is how multi-market
+callers (the optimizer's Table 6 sweep) keep the per-profile sharing.
+The old signatures that threaded a ``market`` through every call keep
+working for one release but warn.
 
 Tie-breaking contract: the scalar loops keep the *first* strictly
 greater value in (cache outer, slice inner) order; ``np.argmax`` over
@@ -41,8 +53,16 @@ equivalence tests enforce.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+import warnings
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.economics.backend import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    HAVE_NUMPY,
+    require_numpy as _require_numpy,
+    resolve_backend as _resolve_backend,
+)
 from repro.perfmodel.model import (
     ALU_PATH_FRACTION,
     BRANCH_PENALTY_BASE,
@@ -58,46 +78,25 @@ from repro.perfmodel.model import (
     l2_mean_latency,
 )
 
-try:  # pragma: no cover - exercised implicitly by every numpy test
+if HAVE_NUMPY:  # pragma: no branch - mirrors repro.economics.backend
     import numpy as np
-
-    HAVE_NUMPY = True
-except ImportError:  # pragma: no cover - the no-numpy container case
+else:  # pragma: no cover - the no-numpy container case
     np = None  # type: ignore[assignment]
-    HAVE_NUMPY = False
-
-#: Backend names accepted throughout the economics layer.
-BACKENDS = ("numpy", "python")
-
-#: What ``backend=None`` resolves to.
-DEFAULT_BACKEND = "numpy" if HAVE_NUMPY else "python"
 
 
-def resolve_backend(backend: Optional[str]) -> str:
-    """Validate/default a backend name.
-
-    ``None`` means :data:`DEFAULT_BACKEND`; asking for ``"numpy"``
-    without numpy installed silently degrades to ``"python"`` (same
-    numbers, scalar speed) so library code never hard-fails on the
-    optional import.
-    """
-    if backend is None:
-        return DEFAULT_BACKEND
-    if backend not in BACKENDS:
-        raise ValueError(
-            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+def __getattr__(name: str):
+    """Deprecated import path: ``resolve_backend`` moved to
+    :mod:`repro.economics.backend` (kept here for one release)."""
+    if name == "resolve_backend":
+        warnings.warn(
+            "importing resolve_backend from repro.economics.tensor is "
+            "deprecated; import it from repro.economics.backend",
+            DeprecationWarning, stacklevel=2,
         )
-    if backend == "numpy" and not HAVE_NUMPY:
-        return "python"
-    return backend
-
-
-def _require_numpy() -> None:
-    if not HAVE_NUMPY:
-        raise RuntimeError(
-            "numpy is not available; use backend='python' "
-            "(resolve_backend(None) degrades automatically)"
-        )
+        return _resolve_backend
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )
 
 
 # ---------------------------------------------------------------------
@@ -241,18 +240,29 @@ class MarketKernel:
     affordable replication falls below it are masked out of ``best``.
     The default ``0.0`` keeps every configuration feasible, matching the
     paper's continuous-``v`` treatment (and the scalar reference path).
+
+    A kernel may be *bound* to one market at construction
+    (``market=``); bound kernels drop the ``market`` argument from
+    every query (``vcores(budget)``, ``best(profile, utility,
+    budget)``).  :meth:`for_market` derives a bound view sharing this
+    kernel's memoized rows, so multi-market sweeps keep the
+    per-profile sharing.  The old market-threading signatures still
+    work for one release but emit a ``DeprecationWarning``.
     """
 
     def __init__(self, model: Optional[AnalyticModel] = None,
                  cache_grid: Sequence[float] = CACHE_GRID_KB,
                  slice_grid: Sequence[int] = SLICE_GRID,
-                 obs=None):
+                 obs=None, market=None):
         _require_numpy()
         self.model = model or AnalyticModel()
         self.cache_grid = tuple(float(c) for c in cache_grid)
         self.slice_grid = tuple(int(s) for s in slice_grid)
+        self.market = market
         self._perf_rows: Dict[object, "np.ndarray"] = {}
         self._cost: Dict[Tuple[str, float, float, float], "np.ndarray"] = {}
+        self._views: Dict[Tuple[str, float, float, float],
+                          "MarketKernel"] = {}
         from repro.obs import OBS_OFF
 
         scope = (obs or OBS_OFF).scope("economics.kernel")
@@ -260,6 +270,56 @@ class MarketKernel:
         self._c_row_misses = scope.counter("perf_rows.misses")
         self._c_grids = scope.counter("utility_grids")
         self._t_build = scope.timer("perf_build_s")
+
+    # -- market binding --------------------------------------------------
+
+    @staticmethod
+    def _market_key(market) -> Tuple[str, float, float, float]:
+        return (market.name, market.slice_price, market.bank_price,
+                market.fixed_cost)
+
+    def for_market(self, market) -> "MarketKernel":
+        """A view of this kernel bound to ``market``.
+
+        Views share the memoized performance rows, cost matrices and
+        obs counters with their parent (and with each other), so
+        binding costs nothing beyond a small shell object.
+        """
+        if market is None:
+            raise ValueError("for_market needs a market")
+        if self.market is not None and self._market_key(
+                self.market) == self._market_key(market):
+            return self
+        key = self._market_key(market)
+        view = self._views.get(key)
+        if view is None:
+            view = MarketKernel.__new__(MarketKernel)
+            view.__dict__ = dict(self.__dict__)
+            view.market = market
+            self._views[key] = view
+        return view
+
+    def _bound_market(self, method: str, args: tuple) -> Tuple[Any, tuple]:
+        """Split deprecated market-threading call styles.
+
+        Old call sites pass a market object ahead of the remaining
+        positional arguments; new ones rely on the bound market.
+        """
+        if args and hasattr(args[0], "slice_price"):
+            warnings.warn(
+                f"MarketKernel.{method}(market, ...) is deprecated; "
+                "bind the market at construction "
+                "(MarketKernel(market=...)) or via for_market() and "
+                f"call {method}() without it",
+                DeprecationWarning, stacklevel=3,
+            )
+            return args[0], args[1:]
+        if self.market is None:
+            raise TypeError(
+                f"MarketKernel.{method}: no market bound; construct "
+                "with MarketKernel(market=...) or use for_market()"
+            )
+        return self.market, args
 
     # -- performance rows ------------------------------------------------
 
@@ -291,46 +351,73 @@ class MarketKernel:
 
     # -- market matrices -------------------------------------------------
 
-    def market_cost(self, market) -> "np.ndarray":
-        key = (market.name, market.slice_price, market.bank_price,
-               market.fixed_cost)
+    def _cost_for(self, market) -> "np.ndarray":
+        key = self._market_key(market)
         cost = self._cost.get(key)
         if cost is None:
             cost = cost_matrix(market, self.cache_grid, self.slice_grid)
             self._cost[key] = cost
         return cost
 
-    def vcores(self, market, budget: float) -> "np.ndarray":
+    def market_cost(self, market=None) -> "np.ndarray":
+        if market is not None:
+            market, _ = self._bound_market("market_cost", (market,))
+        else:
+            market, _ = self._bound_market("market_cost", ())
+        return self._cost_for(market)
+
+    def _vcores_for(self, market, budget: float) -> "np.ndarray":
         if budget < 0:
             raise ValueError("budget cannot be negative")
-        return budget / self.market_cost(market)
+        return budget / self._cost_for(market)
 
-    def feasibility_mask(self, market, budget: float,
+    def vcores(self, *args) -> "np.ndarray":
+        """``v = B / cost`` over the grid; ``vcores(budget)`` on a bound
+        kernel (``vcores(market, budget)`` is the deprecated form)."""
+        market, (budget,) = self._bound_market("vcores", args)
+        return self._vcores_for(market, budget)
+
+    def feasibility_mask(self, *args,
                          min_vcores: float = 0.0) -> "np.ndarray":
-        """Boolean grid: configurations affordable under the budget."""
-        return self.vcores(market, budget) >= min_vcores
+        """Boolean grid: configurations affordable under the budget.
+
+        ``feasibility_mask(budget)`` on a bound kernel;
+        ``feasibility_mask(market, budget)`` is the deprecated form.
+        """
+        market, (budget,) = self._bound_market("feasibility_mask", args)
+        return self._vcores_for(market, budget) >= min_vcores
 
     # -- utility surfaces and optima ------------------------------------
 
-    def utility_grid(self, profile: ProfileLike, utility, market,
-                     budget: float) -> "np.ndarray":
-        """``U(c, s)`` surface for one customer, shape ``(cache, slice)``."""
+    def utility_grid(self, profile: ProfileLike, utility,
+                     *args) -> "np.ndarray":
+        """``U(c, s)`` surface for one customer, shape ``(cache, slice)``.
+
+        ``utility_grid(profile, utility, budget)`` on a bound kernel;
+        ``utility_grid(profile, utility, market, budget)`` is the
+        deprecated form.
+        """
+        market, (budget,) = self._bound_market("utility_grid", args)
         self._c_grids.inc()
         return utility_matrix(self.perf_row(profile),
-                              self.vcores(market, budget), utility)
+                              self._vcores_for(market, budget), utility)
 
-    def best(self, profile: ProfileLike, utility, market, budget: float,
+    def best(self, profile: ProfileLike, utility, *args,
              min_vcores: float = 0.0
              ) -> Tuple[float, int, float, float, float]:
         """Masked argmax over the grid.
 
-        Returns ``(cache_kb, slices, vcores, performance, utility)`` for
-        the feasible utility-maximising configuration; raises
-        ``ValueError`` when the mask leaves nothing feasible.
+        ``best(profile, utility, budget)`` on a bound kernel
+        (``best(profile, utility, market, budget)`` is the deprecated
+        form).  Returns ``(cache_kb, slices, vcores, performance,
+        utility)`` for the feasible utility-maximising configuration;
+        raises ``ValueError`` when the mask leaves nothing feasible.
         """
-        grid = self.utility_grid(profile, utility, market, budget)
+        market, (budget,) = self._bound_market("best", args)
+        bound = self.for_market(market)
+        grid = bound.utility_grid(profile, utility, budget)
         if min_vcores > 0.0:
-            mask = self.feasibility_mask(market, budget, min_vcores)
+            mask = self._vcores_for(market, budget) >= min_vcores
             if not mask.any():
                 raise ValueError(
                     f"no feasible configuration for budget {budget:g} "
@@ -344,7 +431,7 @@ class MarketKernel:
         return (
             cache_kb,
             slices,
-            float(self.vcores(market, budget)[ci, si]),
+            float(self._vcores_for(market, budget)[ci, si]),
             float(self.perf_row(profile)[ci, si]),
             float(grid[ci, si]),
         )
@@ -352,11 +439,16 @@ class MarketKernel:
     # -- bulk helpers ----------------------------------------------------
 
     def utility_stack(self, profiles: Sequence[ProfileLike], utility,
-                      market, budget: float) -> "np.ndarray":
-        """Stacked ``U`` surfaces, shape ``(len(profiles), cache, slice)``."""
+                      *args) -> "np.ndarray":
+        """Stacked ``U`` surfaces, shape ``(len(profiles), cache, slice)``.
+
+        ``utility_stack(profiles, utility, budget)`` on a bound kernel;
+        the market-threading form is deprecated.
+        """
+        market, (budget,) = self._bound_market("utility_stack", args)
         self.prime(profiles)
         perf = np.stack([self.perf_row(p) for p in profiles])
-        vcores = self.vcores(market, budget)
+        vcores = self._vcores_for(market, budget)
         return utility_matrix(perf, vcores, utility)
 
     def config_list(self) -> List[Tuple[float, int]]:

@@ -109,7 +109,7 @@ class WorkUnit:
     cache keys.
     """
 
-    kind: str  # "performance" | "utility" | "simulation"
+    kind: str  # "performance" | "utility" | "simulation" | "service"
     profile_fields: Tuple[Tuple[str, Any], ...]
     cache_grid: Tuple[float, ...]
     slice_grid: Tuple[int, ...]
@@ -131,6 +131,11 @@ class WorkUnit:
     #: (the backend cannot affect them, and a no-op axis would cold
     #: their cache entries for nothing).
     backend: str = "python"
+    #: Streaming-service shard parameters as a sorted item tuple
+    #: (``kind="service"``); inert ``None`` for grid kinds.
+    service: Optional[Tuple[Tuple[str, Any], ...]] = None
+    #: Which shard of the sharded stream this unit drives.
+    shard: int = 0
 
     @property
     def benchmark(self) -> str:
@@ -138,11 +143,16 @@ class WorkUnit:
 
     @property
     def points(self) -> int:
+        if self.kind == "service":
+            # Events, not grid cells, are the unit of work for a
+            # stream shard - this is what the parallel threshold and
+            # the metrics ledger should count.
+            return int(dict(self.service or ()).get("num_events", 1))
         return len(self.cache_grid) * len(self.slice_grid)
 
     def result_key(self) -> KindKey:
         """How this unit's grid is addressed in a :class:`SweepResult`."""
-        if self.kind in ("performance", "simulation"):
+        if self.kind in ("performance", "simulation", "service"):
             return (self.benchmark,)
         return (self.benchmark, self.utility[0], self.market[0])
 
@@ -176,6 +186,9 @@ class WorkUnit:
             "sampling": (list(self.sampling)
                          if self.sampling is not None else None),
             "backend": self.backend,
+            "service": (list(self.service)
+                        if self.service is not None else None),
+            "shard": self.shard,
         }
 
     def cache_key(self) -> str:
@@ -203,17 +216,41 @@ class SweepSpec:
     sim_config: Any = None  # Optional[SimConfig]
     #: Backend for utility units; ``None`` keeps the scalar reference.
     backend: Optional[str] = None
+    #: Streaming-service parameters; when set the spec expands into
+    #: ``shards`` independent ``kind="service"`` units (benchmarks and
+    #: grids are ignored).  Values must be primitives - they become the
+    #: unit's frozen, cache-keyed ``service`` tuple.
+    service: Optional[Dict[str, Any]] = None
+    shards: int = 1
 
     def expand(self, model: Optional[AnalyticModel] = None
                ) -> List[WorkUnit]:
         """The spec's work units, in deterministic axis order."""
+        if self.service is not None:
+            base = dict(self.service)
+            seed0 = int(base.get("seed", 1))
+            units = []
+            for shard in range(max(1, int(self.shards))):
+                params = dict(base)
+                # Shards are independent streams: decorrelate by seed.
+                params["seed"] = seed0 + shard
+                units.append(WorkUnit(
+                    kind="service",
+                    profile_fields=(("name", f"stream/shard{shard}"),),
+                    cache_grid=(),
+                    slice_grid=(),
+                    calibration=(),
+                    service=tuple(sorted(params.items())),
+                    shard=shard,
+                ))
+            return units
         calibration = model_calibration(model or AnalyticModel())
         cache_grid = tuple(float(c) for c in self.cache_grid)
         slice_grid = tuple(int(s) for s in self.slice_grid)
         if self.backend is None:
             unit_backend = "python"
         else:
-            from repro.economics.tensor import resolve_backend
+            from repro.economics.backend import resolve_backend
 
             unit_backend = resolve_backend(self.backend)
         units: List[WorkUnit] = []
@@ -273,6 +310,13 @@ def evaluate_unit(unit: WorkUnit) -> List[List[float]]:
     Returns JSON-stable rows ``[[cache_kb, slices, value], ...]`` in
     (cache outer, slice inner) grid order.
     """
+    if unit.kind == "service":
+        # Lazy: the engine has no load-time dependency on the cloud
+        # service (experiments sit above the engine in the layering).
+        from repro.experiments.datacenter_stream import evaluate_shard
+
+        return evaluate_shard(dict(unit.service or ()))
+
     fields = dict(unit.profile_fields)
     profile = BenchmarkProfile(**fields)
 
@@ -725,6 +769,23 @@ class SweepEngine:
                 sim_config=sim_config,
             )
         )
+
+    def service_map(self, params: Dict[str, Any],
+                    shards: int = 1) -> SweepResult:
+        """Fan a sharded event stream across workers.
+
+        Each shard is one ``kind="service"`` unit: an independent
+        :class:`~repro.cloud.service.AllocationService` driven by a
+        seeded stream (seed + shard index), returning its
+        ``STREAM_METRICS`` rows keyed ``("stream/shard<i>",)``.
+        Cached like any other unit - params and shard are part of the
+        content address.
+        """
+        return self.run(SweepSpec(
+            benchmarks=(),
+            service=dict(params),
+            shards=shards,
+        ))
 
     def grid_model(self, cache_grid: Sequence[float] = CACHE_GRID_KB,
                    slice_grid: Sequence[int] = SLICE_GRID,

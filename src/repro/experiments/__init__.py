@@ -27,6 +27,7 @@ tab8       related-work taxonomy
 parsec     PARSEC on 4 VCores with directory coherence (§3.5, §5.3)
 ablation   operand-network channel count (Section 5.1)
 datacenter 10k+ tenant market allocation at scale (extension)
+stream     event-driven streaming allocation service (extension)
 =========  ==================================================
 """
 
@@ -42,6 +43,7 @@ from repro.experiments import (  # noqa: F401
     hetero_comparison,
     datacenter_mix,
     datacenter_scale,
+    datacenter_stream,
     phases,
     taxonomy,
     parsec_multivcore,

@@ -1,0 +1,339 @@
+"""Streaming datacenter service: a churning market driven event by event.
+
+``datacenter_scale`` places 10k tenants in one batch; a real IaaS
+provider faces a *stream* - tenants arrive, resize, and depart
+continuously while prices track demand.  This experiment drives the
+:class:`~repro.cloud.service.AllocationService` with a seeded synthetic
+event stream (Table 5 workload mix, bounded active population) and
+reports the service-level metrics the batch experiments cannot see:
+
+* sustained events/sec and per-event latency percentiles;
+* admission outcomes - profit-floor rejections vs capacity rejections;
+* fabric fragmentation over time and opportunistic compactions;
+* warm-started price-convergence rounds per repricing step.
+
+The stream is sharded deterministically (seed + shard), so the engine
+can fan shards across workers as ``kind="service"`` work units; the
+default single shard runs in-process.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.cloud.fabric import Fabric
+from repro.cloud.service import AllocationService, Event, TenantRequest
+from repro.economics.backend import resolve_backend
+from repro.economics.utility import STANDARD_UTILITIES
+from repro.experiments.base import ExperimentResult
+from repro.experiments.datacenter_scale import (
+    BUDGET_SPAN,
+    MAX_VCORES,
+    RACK_HEIGHT,
+    RACK_WIDTH,
+)
+from repro.trace.profiles import PROFILES
+
+NAME = "datacenter_stream"
+
+#: Steady-state active population the stream churns around.
+ACTIVE_TARGET = 160
+
+#: Fraction of events that are budget resizes (when tenants are active).
+RESIZE_FRACTION = 0.06
+
+#: Below this utility-per-budget-unit the provider declines the tenant.
+ADMISSION_FLOOR = 0.02
+
+#: Metric order of the engine's ``kind="service"`` work-unit rows.
+STREAM_METRICS = (
+    "events", "admitted", "rejected_price", "rejected_capacity",
+    "departures", "resizes", "reprice_rounds", "compactions",
+    "active_tenants", "events_per_s", "final_fragmentation",
+    "slice_price", "bank_price",
+)
+
+
+@dataclass(frozen=True)
+class DatacenterStreamResult(ExperimentResult):
+    """Service-level stream statistics."""
+
+    num_events: int
+    seed: int
+    backend: str
+    events_per_s: float
+    rejection_rate: float
+    mean_rounds: float
+    latency_p50_ms: float
+    latency_p99_ms: float
+
+    def to_dict(self, include_elapsed: bool = True):
+        out = super().to_dict(include_elapsed=include_elapsed)
+        out["stream"] = {
+            "num_events": self.num_events,
+            "seed": self.seed,
+            "backend": self.backend,
+            "events_per_s": self.events_per_s,
+            "rejection_rate": self.rejection_rate,
+            "mean_rounds": self.mean_rounds,
+            "latency_p50_ms": self.latency_p50_ms,
+            "latency_p99_ms": self.latency_p99_ms,
+        }
+        return out
+
+
+def build_service(backend: Optional[str] = None,
+                  admission_floor: float = ADMISSION_FLOOR,
+                  obs=None) -> AllocationService:
+    """One rack-backed service with the experiment's standard knobs."""
+    return AllocationService(
+        fabric=Fabric(RACK_WIDTH, RACK_HEIGHT),
+        backend=backend,
+        admission_floor=admission_floor,
+        max_vcores=MAX_VCORES,
+        obs=obs,
+    )
+
+
+def synthesize_event(rng: random.Random, active: List[str],
+                     serial: int, active_target: int,
+                     resize_fraction: float) -> Tuple[Event, int]:
+    """The next stream event against the currently active tenants.
+
+    Arrivals dominate until the population reaches ``active_target``,
+    after which departures balance them; resizes are sprinkled in at
+    ``resize_fraction``.  Deterministic in (rng state, active list).
+    """
+    benchmarks = sorted(PROFILES)
+    r = rng.random()
+    if active and r < resize_fraction:
+        lo, hi = BUDGET_SPAN
+        return Event(kind="resize", tenant_id=rng.choice(active),
+                     budget=rng.uniform(lo, hi)), serial
+    if active and (len(active) >= active_target or r < 0.45):
+        return Event(kind="depart",
+                     tenant_id=rng.choice(active)), serial
+    lo, hi = BUDGET_SPAN
+    serial += 1
+    tenant = TenantRequest(
+        name=f"t{serial}",
+        benchmark=benchmarks[rng.randrange(len(benchmarks))],
+        utility=STANDARD_UTILITIES[
+            rng.randrange(len(STANDARD_UTILITIES))],
+        budget=rng.uniform(lo, hi),
+    )
+    return Event(kind="submit", tenant=tenant), serial
+
+
+def drive_stream(service: AllocationService, num_events: int, seed: int,
+                 active_target: int = ACTIVE_TARGET,
+                 resize_fraction: float = RESIZE_FRACTION,
+                 reprice_every: int = 1,
+                 collect_latencies: bool = False,
+                 serial0: int = 0,
+                 active: Optional[List[str]] = None
+                 ) -> Tuple[Dict[str, float], List[float], int]:
+    """Drive ``num_events`` seeded events through a live service.
+
+    Returns ``(stats, per_event_latencies_s, serial)``; pass the
+    returned ``serial`` (and keep the same ``active`` list) to chain
+    segments of one continuous stream.
+    """
+    rng = random.Random(seed)
+    if active is None:
+        active = []
+    serial = serial0
+    latencies: List[float] = []
+    before = service.summary()
+    t0 = time.perf_counter()
+    for i in range(num_events):
+        event, serial = synthesize_event(rng, active, serial,
+                                         active_target, resize_fraction)
+        t_event = time.perf_counter() if collect_latencies else 0.0
+        outcome = service.apply(event)
+        if reprice_every and (i + 1) % reprice_every == 0:
+            service.step()
+        if collect_latencies:
+            latencies.append(time.perf_counter() - t_event)
+        if event.kind == "submit" and outcome.admitted:
+            active.append(event.tenant.name)
+        elif event.kind == "depart":
+            active.remove(event.tenant_id)
+    elapsed = time.perf_counter() - t0
+    after = service.summary()
+    stats = {
+        "events": float(num_events),
+        "admitted": float(after.admitted - before.admitted),
+        "rejected_price": float(after.rejected_price
+                                - before.rejected_price),
+        "rejected_capacity": float(after.rejected_capacity
+                                   - before.rejected_capacity),
+        "departures": float(after.departures - before.departures),
+        "resizes": float(after.resizes - before.resizes),
+        "reprice_rounds": float(after.reprice_rounds
+                                - before.reprice_rounds),
+        "compactions": float(after.compactions - before.compactions),
+        "active_tenants": float(after.active_tenants),
+        "events_per_s": (num_events / elapsed if elapsed > 0
+                         else float("inf")),
+        "final_fragmentation": after.fragmentation,
+        "slice_price": after.slice_price,
+        "bank_price": after.bank_price,
+    }
+    return stats, latencies, serial
+
+
+def evaluate_shard(params: Dict[str, object]) -> List[List[float]]:
+    """One engine work unit: an independent stream shard.
+
+    ``params`` comes from the unit's frozen ``service`` field; rows are
+    ``[[metric_index, 0, value], ...]`` in :data:`STREAM_METRICS`
+    order, which is what :class:`~repro.engine.core.SweepResult`
+    re-keys into a grid.
+    """
+    service = build_service(
+        backend=str(params.get("backend", "numpy")),
+        admission_floor=float(params.get("admission_floor",
+                                         ADMISSION_FLOOR)),
+    )
+    stats, _, _ = drive_stream(
+        service,
+        num_events=int(params["num_events"]),
+        seed=int(params["seed"]),
+        active_target=int(params.get("active_target", ACTIVE_TARGET)),
+        resize_fraction=float(params.get("resize_fraction",
+                                         RESIZE_FRACTION)),
+        reprice_every=int(params.get("reprice_every", 1)),
+    )
+    return [[float(i), 0.0, float(stats[name])]
+            for i, name in enumerate(STREAM_METRICS)]
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    idx = min(len(sorted_values) - 1,
+              max(0, int(round(q * (len(sorted_values) - 1)))))
+    return sorted_values[idx]
+
+
+def run(num_events: int = 20_000, seed: int = 11,
+        backend: Optional[str] = None,
+        active_target: int = ACTIVE_TARGET,
+        admission_floor: float = ADMISSION_FLOOR,
+        reprice_every: int = 1, segments: int = 4,
+        shards: int = 1,
+        engine=None, obs=None) -> DatacenterStreamResult:
+    """Drive one continuous stream, reported in ``segments`` rows.
+
+    With ``shards > 1`` and an engine, independent shards fan out as
+    ``kind="service"`` work units instead (one row per shard).
+    """
+    start = time.perf_counter()
+    backend_name = resolve_backend(backend)
+    if obs is None and engine is not None:
+        obs = getattr(engine, "obs", None)
+
+    if shards > 1 and engine is not None:
+        sweep = engine.service_map(
+            {"num_events": num_events // shards, "seed": seed,
+             "backend": backend_name, "admission_floor": admission_floor,
+             "active_target": active_target,
+             "reprice_every": reprice_every},
+            shards=shards,
+        )
+        rows = []
+        for shard in range(shards):
+            grid = sweep.values[(f"stream/shard{shard}",)]
+            stats = {name: grid[(float(i), 0)]
+                     for i, name in enumerate(STREAM_METRICS)}
+            stats["segment"] = f"shard{shard}"
+            rows.append(stats)
+        latencies: List[float] = []
+    else:
+        service = build_service(backend=backend_name,
+                                admission_floor=admission_floor,
+                                obs=obs)
+        rows = []
+        latencies = []
+        active: List[str] = []
+        serial = 0
+        per_segment = max(1, num_events // max(1, segments))
+        for segment in range(max(1, segments)):
+            count = (num_events - per_segment * (segments - 1)
+                     if segment == segments - 1 else per_segment)
+            stats, lats, serial = drive_stream(
+                service, count, seed + segment,
+                active_target=active_target,
+                reprice_every=reprice_every,
+                collect_latencies=True,
+                serial0=serial, active=active,
+            )
+            stats["segment"] = f"q{segment + 1}"
+            rows.append(stats)
+            latencies.extend(lats)
+
+    total_events = sum(r["events"] for r in rows)
+    total_elapsed = sum(r["events"] / r["events_per_s"] for r in rows
+                        if r["events_per_s"] > 0)
+    submitted = sum(r["admitted"] + r["rejected_price"]
+                    + r["rejected_capacity"] for r in rows)
+    rejected = sum(r["rejected_price"] + r["rejected_capacity"]
+                   for r in rows)
+    steps = sum(r["events"] for r in rows) / max(1, reprice_every)
+    latencies.sort()
+    return DatacenterStreamResult(
+        name=NAME,
+        params={"num_events": num_events, "seed": seed,
+                "backend": backend_name,
+                "active_target": active_target,
+                "admission_floor": admission_floor,
+                "reprice_every": reprice_every,
+                "shards": shards,
+                "rack": f"{RACK_WIDTH}x{RACK_HEIGHT}"},
+        rows=tuple(rows),
+        elapsed=time.perf_counter() - start,
+        num_events=int(total_events),
+        seed=seed,
+        backend=backend_name,
+        events_per_s=(total_events / total_elapsed
+                      if total_elapsed > 0 else float("inf")),
+        rejection_rate=rejected / submitted if submitted else 0.0,
+        mean_rounds=(sum(r["reprice_rounds"] for r in rows)
+                     / steps if steps else 0.0),
+        latency_p50_ms=_percentile(latencies, 0.50) * 1e3,
+        latency_p99_ms=_percentile(latencies, 0.99) * 1e3,
+    )
+
+
+def render(result: DatacenterStreamResult) -> None:
+    print(f"Streaming datacenter service: {result.num_events} events, "
+          f"backend={result.backend}")
+    print("  segment   events  admit  rej$  rejCap  depart  rounds"
+          "  frag   ev/s")
+    for row in result.rows:
+        print(f"  {row['segment']:<8} {row['events']:>7.0f} "
+              f"{row['admitted']:>6.0f} {row['rejected_price']:>5.0f} "
+              f"{row['rejected_capacity']:>7.0f} "
+              f"{row['departures']:>7.0f} "
+              f"{row['reprice_rounds']:>7.0f} "
+              f"{row['final_fragmentation']:>5.2f} "
+              f"{row['events_per_s']:>7.0f}")
+    print(f"  throughput: {result.events_per_s:.0f} events/s, "
+          f"rejection rate {result.rejection_rate:.1%}, "
+          f"mean {result.mean_rounds:.2f} rounds/step")
+    if result.latency_p99_ms:
+        print(f"  latency: p50 {result.latency_p50_ms:.3f} ms, "
+              f"p99 {result.latency_p99_ms:.3f} ms")
+    print(f"  total: {result.elapsed:.2f}s")
+
+
+def main() -> None:
+    render(run())
+
+
+if __name__ == "__main__":
+    main()

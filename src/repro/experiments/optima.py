@@ -19,7 +19,7 @@ from repro.economics.efficiency import (
     EfficiencyMetric,
     optimal_configuration,
 )
-from repro.economics.tensor import resolve_backend
+from repro.economics.backend import resolve_backend
 from repro.experiments.base import ExperimentResult
 from repro.trace.profiles import all_benchmarks
 

@@ -43,6 +43,7 @@ from repro.experiments import (
     cache_sensitivity,
     datacenter_mix,
     datacenter_scale,
+    datacenter_stream,
     energy_delay,
     hetero_comparison,
     markets,
@@ -71,6 +72,7 @@ EXPERIMENTS = (
     ("Table 8 (taxonomy)", taxonomy),
     ("Extension: Energy*Delay^n optima", energy_delay),
     ("Extension: datacenter-scale allocation", datacenter_scale),
+    ("Extension: streaming allocation service", datacenter_stream),
 )
 
 #: ``--only`` vocabulary, in run order.

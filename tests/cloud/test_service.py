@@ -1,0 +1,277 @@
+"""The streaming allocation service: events, admission, placement."""
+
+import pytest
+
+from repro.cloud.fabric import Fabric, TileKind
+from repro.cloud.service import (
+    AllocationService,
+    Event,
+    StreamSummary,
+    TenantRequest,
+)
+from repro.economics.utility import UTILITY1, UTILITY2, UTILITY3
+
+
+def tenant(name, benchmark="gcc", utility=UTILITY2, budget=24.0):
+    return TenantRequest(name=name, benchmark=benchmark,
+                         utility=utility, budget=budget)
+
+
+def economics_service(**kwargs):
+    kwargs.setdefault("slice_supply", 64.0)
+    kwargs.setdefault("bank_supply", 64.0)
+    kwargs.setdefault("backend", "python")
+    return AllocationService(**kwargs)
+
+
+class TestConstruction:
+    def test_needs_fabric_or_supplies(self):
+        with pytest.raises(ValueError):
+            AllocationService()
+
+    def test_supplies_default_from_fabric(self):
+        fabric = Fabric(16, 8)
+        service = AllocationService(fabric=fabric, backend="python")
+        assert service.slice_supply == fabric.num_slices
+        assert service.bank_supply == fabric.num_banks
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            economics_service(admission_floor=-0.1)
+        with pytest.raises(ValueError):
+            economics_service(max_vcores=0)
+        with pytest.raises(ValueError):
+            AllocationService(slice_supply=-1.0, bank_supply=1.0)
+
+
+class TestEvents:
+    def test_event_validation(self):
+        with pytest.raises(ValueError):
+            Event(kind="arrive")
+        with pytest.raises(ValueError):
+            Event(kind="submit")
+        with pytest.raises(ValueError):
+            Event(kind="depart")
+        with pytest.raises(ValueError):
+            Event(kind="resize")
+
+    def test_apply_dispatches(self):
+        service = economics_service()
+        result = service.apply(Event(kind="submit", tenant=tenant("a")))
+        assert result.admitted
+        service.apply(Event(kind="resize", tenant_id="a", budget=30.0))
+        assert service.tenant("a").budget == 30.0
+        service.apply(Event(kind="depart", tenant_id="a"))
+        assert service.active_tenants == []
+
+
+class TestSubmit:
+    def test_admits_and_tracks(self):
+        service = economics_service()
+        result = service.submit(tenant("a"))
+        assert result.admitted and result.reason == "admitted"
+        assert result.vcores >= 1
+        assert result.utility > 0
+        assert result.marginal_utility == pytest.approx(
+            result.utility / 24.0)
+        assert service.active_tenants == ["a"]
+
+    def test_duplicate_name_raises(self):
+        service = economics_service()
+        service.submit(tenant("a"))
+        with pytest.raises(ValueError):
+            service.submit(tenant("a"))
+
+    def test_admission_floor_rejects(self):
+        service = economics_service(admission_floor=1e9)
+        result = service.submit(tenant("a"))
+        assert not result.admitted
+        assert result.reason == "rejected_price"
+        assert service.active_tenants == []
+
+    def test_capacity_rejection_on_full_fabric(self):
+        service = AllocationService(fabric=Fabric(4, 1),
+                                    backend="python")
+        results = [service.submit(tenant(f"t{i}")) for i in range(8)]
+        assert any(r.reason == "rejected_capacity" for r in results)
+        # A rejected tenant holds no tiles and is not in the market.
+        rejected = next(r for r in results
+                        if r.reason == "rejected_capacity")
+        assert service.fabric.owned_by(rejected.tenant) == []
+        assert rejected.tenant not in service.active_tenants
+
+
+class TestDepart:
+    def test_depart_releases_tiles(self):
+        fabric = Fabric(16, 8)
+        service = AllocationService(fabric=fabric, backend="python")
+        service.submit(tenant("a"))
+        assert fabric.owned_by("a")
+        service.depart("a")
+        assert fabric.owned_by("a") == []
+        assert fabric.free_count(TileKind.SLICE) == fabric.num_slices
+
+    def test_depart_unknown_raises(self):
+        service = economics_service()
+        with pytest.raises(KeyError):
+            service.depart("ghost")
+
+    def test_submit_depart_restores_empty_market(self):
+        service = economics_service()
+        service.submit(tenant("a"))
+        service.depart("a")
+        assert service.active_tenants == []
+        summary = service.summary()
+        assert summary.admitted == 1
+        assert summary.departures == 1
+
+
+class TestResize:
+    def test_resize_keeps_configuration(self):
+        service = economics_service()
+        before = service.submit(tenant("a", budget=24.0))
+        after = service.resize("a", 48.0)
+        # Optimal (cache, slices) is budget-independent; only the
+        # replication factor may move.
+        assert after.cache_kb == before.cache_kb
+        assert after.slices == before.slices
+        assert after.vcores >= before.vcores
+        assert service.tenant("a").budget == 48.0
+
+    def test_resize_unknown_raises(self):
+        service = economics_service()
+        with pytest.raises(KeyError):
+            service.resize("ghost", 10.0)
+        with pytest.raises(ValueError):
+            service.submit(tenant("a"))
+            service.resize("a", -1.0)
+
+    def test_unabsorbable_resize_restores_placement(self):
+        fabric = Fabric(32, 2)
+        service = AllocationService(fabric=fabric, backend="python",
+                                    max_vcores=8)
+        first = service.submit(tenant("a", budget=24.0))
+        assert first.admitted
+        # Fill the rest of the fabric so growth has nowhere to go.
+        filler = 0
+        while True:
+            result = service.submit(tenant(f"f{filler}", budget=24.0))
+            filler += 1
+            if not result.admitted:
+                break
+        before_nodes = fabric.owned_by("a")
+        result = service.resize("a", 2000.0)
+        if not result.admitted:
+            assert result.reason == "rejected_capacity"
+            assert fabric.owned_by("a") == before_nodes
+            # The budget change was rejected wholesale.
+            assert service.tenant("a").budget == 24.0
+
+
+class TestStep:
+    def test_empty_market_step_is_identity(self):
+        service = economics_service(initial_slice_price=3.3,
+                                    initial_bank_price=1.7)
+        result = service.step()
+        assert result.rounds == 0 and result.converged
+        assert service.prices() == (3.3, 1.7)
+
+    def test_step_moves_prices_under_overdemand(self):
+        service = economics_service(slice_supply=4.0, bank_supply=4.0)
+        for i in range(6):
+            service.submit(tenant(f"t{i}", budget=50.0))
+        p0 = service.prices()
+        result = service.step()
+        assert result.rounds >= 1
+        assert service.prices() != p0
+
+    def test_quiescent_market_reprices_in_one_round(self):
+        service = economics_service(slice_supply=512.0,
+                                    bank_supply=512.0)
+        for i, u in enumerate((UTILITY1, UTILITY2, UTILITY3)):
+            service.submit(tenant(f"t{i}", utility=u))
+        service.step()
+        prices = service.prices()
+        again = service.step()
+        # Warm start at a fixed point: one round, zero movement.
+        assert again.rounds == 1 and again.converged
+        assert service.prices() == prices
+
+
+class TestRunAndSummary:
+    def test_run_stream(self):
+        service = economics_service()
+        events = [
+            Event(kind="submit", tenant=tenant("a")),
+            Event(kind="submit", tenant=tenant("b", benchmark="mcf")),
+            Event(kind="resize", tenant_id="a", budget=30.0),
+            Event(kind="depart", tenant_id="b"),
+        ]
+        summary = service.run(events, reprice_every=2)
+        assert isinstance(summary, StreamSummary)
+        assert summary.events == 4
+        assert summary.admitted == 2
+        assert summary.resizes == 1
+        assert summary.departures == 1
+        assert summary.active_tenants == 1
+        assert summary.reprice_rounds >= 1
+
+    def test_run_without_repricing_keeps_prices(self):
+        service = economics_service()
+        p0 = service.prices()
+        service.run([Event(kind="submit", tenant=tenant("a"))],
+                    reprice_every=0)
+        assert service.prices() == p0
+
+
+class TestCompaction:
+    def test_compaction_preserves_tenant_holdings(self):
+        fabric = Fabric(16, 4)
+        # threshold 0.0: every departure that leaves any fragmentation
+        # compacts, exercising the lift-and-repack path aggressively.
+        service = AllocationService(fabric=fabric, backend="python",
+                                    compaction_threshold=0.0)
+        admitted = []
+        for i in range(10):
+            if service.submit(tenant(f"t{i}")).admitted:
+                admitted.append(f"t{i}")
+        holdings = {
+            name: {
+                kind: sum(1 for n in fabric.owned_by(name)
+                          if fabric.kind(n) is kind)
+                for kind in TileKind
+            }
+            for name in admitted
+        }
+        for name in admitted[::2]:
+            service.depart(name)
+            for survivor in service.active_tenants:
+                counts = {
+                    kind: sum(1 for n in fabric.owned_by(survivor)
+                              if fabric.kind(n) is kind)
+                    for kind in TileKind
+                }
+                # Compaction moves tiles but never changes what a
+                # surviving tenant holds.
+                assert counts == holdings[survivor]
+        # Free-count bookkeeping survived all the lift-and-repack.
+        occupied = sum(len(fabric.owned_by(n))
+                       for n in service.active_tenants)
+        free = (fabric.free_count(TileKind.SLICE)
+                + fabric.free_count(TileKind.BANK))
+        assert occupied + free == fabric.mesh.num_nodes
+
+    def test_compaction_counter_in_summary(self):
+        service = economics_service()
+        assert service.summary().compactions == 0
+
+
+class TestObsCounters:
+    def test_service_counters_register(self):
+        from repro.obs import Observability
+
+        obs = Observability()
+        service = economics_service(obs=obs, admission_floor=1e9)
+        service.submit(tenant("a"))  # rejected by the floor
+        snapshot = obs.snapshot()
+        assert snapshot["cloud.service.rejected_price"]["value"] == 1

@@ -1,0 +1,107 @@
+"""The datacenter_stream experiment: seeded streams, shards, CLI."""
+
+import pytest
+
+from repro.experiments import datacenter_stream as ds
+
+
+class TestDriveStream:
+    def test_seeded_stream_is_deterministic(self):
+        a = ds.drive_stream(ds.build_service(backend="python"),
+                            120, seed=5)[0]
+        b = ds.drive_stream(ds.build_service(backend="python"),
+                            120, seed=5)[0]
+        for key, value in a.items():
+            if key == "events_per_s":
+                continue
+            assert b[key] == value, key
+
+    def test_event_accounting_balances(self):
+        stats, _, _ = ds.drive_stream(ds.build_service(backend="python"),
+                                      150, seed=2)
+        handled = (stats["admitted"] + stats["rejected_price"]
+                   + stats["rejected_capacity"] + stats["departures"]
+                   + stats["resizes"])
+        # Every event lands in exactly one bucket, except capacity
+        # rejections raised by resizes (counted under both).
+        assert handled >= stats["events"]
+        assert stats["active_tenants"] == \
+            stats["admitted"] - stats["departures"]
+
+    def test_segments_chain_into_one_stream(self):
+        service = ds.build_service(backend="python")
+        active = []
+        _, _, serial = ds.drive_stream(service, 60, seed=1,
+                                       active=active, serial0=0)
+        stats, _, serial2 = ds.drive_stream(service, 60, seed=2,
+                                            active=active,
+                                            serial0=serial)
+        assert serial2 > serial > 0
+        assert stats["active_tenants"] == len(active)
+
+
+class TestRun:
+    def test_run_aggregates_segments(self):
+        result = ds.run(num_events=200, seed=4, backend="python",
+                        segments=2)
+        assert result.name == ds.NAME
+        assert result.num_events == 200
+        assert len(result.rows) == 2
+        assert result.events_per_s > 0
+        assert 0.0 <= result.rejection_rate <= 1.0
+        assert result.latency_p99_ms >= result.latency_p50_ms >= 0.0
+
+    def test_rejection_rate_reflects_floor(self):
+        open_door = ds.run(num_events=150, seed=4, backend="python",
+                           segments=1, admission_floor=0.0)
+        closed = ds.run(num_events=150, seed=4, backend="python",
+                        segments=1, admission_floor=1e9)
+        assert closed.rejection_rate > open_door.rejection_rate
+        assert closed.rejection_rate == 1.0
+
+    def test_render_smoke(self, capsys):
+        result = ds.run(num_events=100, seed=4, backend="python",
+                        segments=1)
+        ds.render(result)
+        out = capsys.readouterr().out
+        assert "Streaming datacenter service" in out
+        assert "rejection rate" in out
+
+
+class TestShardedRun:
+    def test_sharded_run_uses_engine(self, tmp_path):
+        pytest.importorskip("numpy")
+        from repro.engine import ResultCache, SweepEngine
+
+        engine = SweepEngine(jobs=1,
+                             cache=ResultCache(root=str(tmp_path)))
+        result = ds.run(num_events=200, seed=4, shards=2,
+                        engine=engine, reprice_every=20)
+        assert len(result.rows) == 2
+        assert {row["segment"] for row in result.rows} == \
+            {"shard0", "shard1"}
+        assert result.num_events == 200
+
+
+class TestCli:
+    def test_datacenter_stream_subcommand(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["datacenter-stream", "--events", "80",
+                     "--backend", "python",
+                     "--reprice-every", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "Streaming datacenter service" in out
+
+    def test_json_export(self, tmp_path, capsys):
+        import json
+
+        from repro.__main__ import main
+
+        path = tmp_path / "stream.json"
+        assert main(["datacenter-stream", "--events", "60",
+                     "--backend", "python", "--reprice-every", "0",
+                     "--json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["name"] == "datacenter_stream"
+        assert payload["rows"]

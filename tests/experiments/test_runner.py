@@ -9,9 +9,10 @@ from repro.experiments import runner
 
 class TestSelection:
     def test_names_cover_all_experiments(self):
-        assert len(runner.NAMES) == 13
-        assert len(set(runner.NAMES)) == 13
+        assert len(runner.NAMES) == 14
+        assert len(set(runner.NAMES)) == 14
         assert "datacenter_scale" in runner.NAMES
+        assert "datacenter_stream" in runner.NAMES
 
     def test_unknown_only_rejected(self, capsys):
         with pytest.raises(SystemExit):

@@ -1,0 +1,136 @@
+"""Property tests: interleaved fabric allocate/release vs brute force.
+
+The fabric's indexed structures (per-row free-run intervals, the
+segment tree of row maxima, O(1) free counts) are exercised here
+against a brute-force reference recomputed from raw tile ownership
+after every operation: any drift in ``free_count``, ``max_free_run``,
+or the chosen placements under arbitrary claim/release interleavings
+is a corruption the streaming service would amplify over 100k events.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud.fabric import Fabric, TileKind
+
+WIDTH, HEIGHT = 12, 4
+
+#: (kind, arg): allocate a run of 1..4 slices, claim 1..3 banks near a
+#: node, or release one of the owners created so far.
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("slices"), st.integers(1, 4)),
+        st.tuples(st.just("banks"), st.integers(1, 3)),
+        st.tuples(st.just("release"), st.integers(0, 60)),
+    ),
+    min_size=1, max_size=60,
+)
+
+
+def brute_force_free_counts(fabric):
+    counts = {TileKind.SLICE: 0, TileKind.BANK: 0}
+    for node in range(fabric.mesh.num_nodes):
+        if fabric.is_free(node):
+            counts[fabric.kind(node)] += 1
+    return counts
+
+
+def brute_force_max_run(fabric):
+    """Longest horizontal run of free slice tiles, by raw scan."""
+    best = 0
+    for y in range(fabric.mesh.height):
+        run = 0
+        for x in range(fabric.mesh.width):
+            node = fabric.mesh.node_at(x, y)
+            if fabric.kind(node) is not TileKind.SLICE:
+                continue  # bank columns neither break nor count
+            if fabric.is_free(node):
+                run += 1
+                best = max(best, run)
+            else:
+                run = 0
+    return best
+
+
+def brute_force_first_fit(fabric, count):
+    """Reference placement: lowest row, leftmost free run of count."""
+    for y in range(fabric.mesh.height):
+        run = []
+        for x in range(fabric.mesh.width):
+            node = fabric.mesh.node_at(x, y)
+            if fabric.kind(node) is not TileKind.SLICE:
+                continue
+            if fabric.is_free(node):
+                run.append(node)
+                if len(run) == count:
+                    return run
+            else:
+                run = []
+    return None
+
+
+class TestInterleavedAllocateRelease:
+    @given(ops=operations)
+    @settings(max_examples=60, deadline=None)
+    def test_counts_and_runs_never_drift(self, ops):
+        fabric = Fabric(WIDTH, HEIGHT)
+        owners = []
+        serial = 0
+        for kind, arg in ops:
+            if kind == "release" and owners:
+                owner = owners.pop(arg % len(owners))
+                freed = fabric.release(owner)
+                assert all(fabric.is_free(n) for n in freed)
+            elif kind == "slices":
+                run = fabric.find_contiguous_slices(arg)
+                assert run == brute_force_first_fit(fabric, arg)
+                if run is not None:
+                    owner = f"o{serial}"
+                    serial += 1
+                    fabric.claim(run, owner)
+                    owners.append(owner)
+            elif kind == "banks":
+                if fabric.free_count(TileKind.BANK) >= arg:
+                    anchor = fabric.mesh.node_at(0, 0)
+                    banks = fabric.find_nearest_banks(anchor, arg)
+                    owner = f"o{serial}"
+                    serial += 1
+                    fabric.claim(banks, owner)
+                    owners.append(owner)
+            expected = brute_force_free_counts(fabric)
+            assert fabric.free_count(TileKind.SLICE) == \
+                expected[TileKind.SLICE]
+            assert fabric.free_count(TileKind.BANK) == \
+                expected[TileKind.BANK]
+            assert fabric.max_free_run() == brute_force_max_run(fabric)
+            frag = fabric.slice_fragmentation()
+            assert 0.0 <= frag <= 1.0
+
+    @given(ops=operations)
+    @settings(max_examples=30, deadline=None)
+    def test_release_everything_restores_pristine(self, ops):
+        fabric = Fabric(WIDTH, HEIGHT)
+        pristine_slices = fabric.free_count(TileKind.SLICE)
+        pristine_banks = fabric.free_count(TileKind.BANK)
+        pristine_run = fabric.max_free_run()
+        owners = []
+        serial = 0
+        for kind, arg in ops:
+            if kind == "slices":
+                run = fabric.find_contiguous_slices(arg)
+                if run is not None:
+                    fabric.claim(run, f"o{serial}")
+                    owners.append(f"o{serial}")
+                    serial += 1
+            elif kind == "banks":
+                if fabric.free_count(TileKind.BANK) >= arg:
+                    banks = fabric.find_nearest_banks(0, arg)
+                    fabric.claim(banks, f"o{serial}")
+                    owners.append(f"o{serial}")
+                    serial += 1
+        for owner in owners:
+            fabric.release(owner)
+        assert fabric.free_count(TileKind.SLICE) == pristine_slices
+        assert fabric.free_count(TileKind.BANK) == pristine_banks
+        assert fabric.max_free_run() == pristine_run
+        assert fabric.slice_fragmentation() == 0.0
