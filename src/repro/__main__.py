@@ -164,6 +164,7 @@ def _cmd_datacenter_stream(args) -> int:
         engine = SweepEngine(jobs=args.jobs)
     floor = (args.admission_floor if args.admission_floor is not None
              else datacenter_stream.ADMISSION_FLOOR)
+    strict = True if args.strict else None
     result = datacenter_stream.run(
         num_events=args.events,
         seed=args.seed,
@@ -171,6 +172,13 @@ def _cmd_datacenter_stream(args) -> int:
         admission_floor=floor,
         reprice_every=args.reprice_every,
         shards=args.shards,
+        fault_rate=args.faults,
+        chaos_seed=args.chaos_seed,
+        strict=strict,
+        readmit=args.readmit,
+        audit_every=args.audit_every,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_path=args.checkpoint_path,
         engine=engine,
     )
     datacenter_stream.render(result)
@@ -289,6 +297,28 @@ def build_parser() -> argparse.ArgumentParser:
                         help="worker processes when sharding")
     stream.add_argument("--json", metavar="PATH", default=None,
                         help="write the result as JSON")
+    stream.add_argument("--faults", type=float, default=0.0,
+                        metavar="RATE",
+                        help="inject seeded faults at this per-event "
+                             "rate (0 disables; implies lenient mode)")
+    stream.add_argument("--chaos-seed", type=int, default=0,
+                        help="seed for the fault plan and injector")
+    stream.add_argument("--strict", action="store_true",
+                        help="raise on bad events even when injecting "
+                             "faults (default: lenient when --faults>0)")
+    stream.add_argument("--readmit", action="store_true",
+                        help="retry capacity-rejected tenants with "
+                             "capped backoff after departures")
+    stream.add_argument("--audit-every", type=int, default=0,
+                        metavar="N",
+                        help="verify service invariants every N events")
+    stream.add_argument("--checkpoint-every", type=int, default=0,
+                        metavar="N",
+                        help="write a resumable checkpoint every N "
+                             "events (needs --checkpoint-path)")
+    stream.add_argument("--checkpoint-path", metavar="PATH",
+                        default=None,
+                        help="where to write the checkpoint JSON")
     stream.set_defaults(func=_cmd_datacenter_stream)
 
     sub.add_parser("list", help="list names").set_defaults(func=_cmd_list)

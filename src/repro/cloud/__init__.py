@@ -6,7 +6,21 @@ Cloud management software schedules customer VMs onto Slices and Cache
 Banks; customers steer their purchases with meta-programs or auto-tuners.
 """
 
+from repro.cloud.errors import (
+    DuplicateTenantError,
+    EventValidationError,
+    InvariantViolation,
+    ServiceError,
+    SimulatedCrash,
+    UnknownTenantError,
+)
 from repro.cloud.fabric import Fabric, TileKind, AllocationError
+from repro.cloud.resilience import (
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    verify_invariants,
+)
 from repro.cloud.vm import VCoreSpec, VMSpec, VMInstance
 from repro.cloud.hypervisor import Hypervisor
 from repro.cloud.scheduler import CloudScheduler, CustomerRequest, Placement
@@ -25,6 +39,16 @@ __all__ = [
     "Fabric",
     "TileKind",
     "AllocationError",
+    "ServiceError",
+    "UnknownTenantError",
+    "DuplicateTenantError",
+    "EventValidationError",
+    "InvariantViolation",
+    "SimulatedCrash",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "verify_invariants",
     "AllocationService",
     "TenantRequest",
     "Event",

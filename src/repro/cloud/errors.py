@@ -1,0 +1,77 @@
+"""Typed error taxonomy for the streaming allocation service.
+
+The service used to escape raw ``KeyError``/``ValueError`` from
+``depart``/``resize``/``submit``; a caller driving a million-event
+stream could not tell a malformed event from a genuine bug, and one
+bad event killed the whole run.  Every rejectable condition now raises
+a :class:`ServiceError` subclass carrying a stable machine-readable
+``reason`` string - the key the dead-letter queue and the per-reason
+obs counters aggregate on.
+
+Backward compatibility: each subclass *also* inherits the built-in
+exception the old code raised (``UnknownTenantError`` is a
+``KeyError``, ``DuplicateTenantError`` and ``EventValidationError``
+are ``ValueError``\\ s), so existing ``except KeyError`` / ``except
+ValueError`` clauses keep working unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ServiceError(Exception):
+    """Base of every rejectable service-level failure.
+
+    ``reason`` is a stable slug (stored in dead-letter records and
+    counter names); ``tenant`` names the offending tenant when known.
+    """
+
+    reason = "service_error"
+
+    def __init__(self, message: str, tenant: str = ""):
+        super().__init__(message)
+        self.tenant = tenant
+
+    def __str__(self) -> str:  # KeyError quotes its repr; keep prose.
+        return self.args[0] if self.args else self.reason
+
+
+class UnknownTenantError(ServiceError, KeyError):
+    """``depart``/``resize`` named a tenant the roster does not hold."""
+
+    reason = "unknown_tenant"
+
+
+class DuplicateTenantError(ServiceError, ValueError):
+    """``submit`` named a tenant that is already active."""
+
+    reason = "duplicate_tenant"
+
+
+class EventValidationError(ServiceError, ValueError):
+    """An event's payload is malformed (e.g. a non-positive budget)."""
+
+    reason = "invalid_event"
+
+
+class InvariantViolation(ServiceError):
+    """The invariant auditor found corrupted service state.
+
+    Unlike the rejectable errors above this is never dead-lettered:
+    it means the service itself - not an event - is wrong, and the
+    run must stop even in lenient mode.
+    """
+
+    reason = "invariant_violation"
+
+
+class SimulatedCrash(RuntimeError):
+    """A fault-injected process death (see ``repro.cloud.resilience``).
+
+    Deliberately *not* a :class:`ServiceError`: a crash is not a
+    rejectable event, it models the whole process dying, so lenient
+    mode must let it propagate to the checkpoint/restore machinery.
+    """
+
+    def __init__(self, index: int):
+        super().__init__(f"simulated crash at event {index}")
+        self.index = index

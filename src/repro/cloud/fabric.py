@@ -348,6 +348,18 @@ class Fabric:
     def owned_by(self, owner: str) -> List[int]:
         return sorted(self._owner_nodes.get(owner, []))
 
+    def snapshot_owners(self) -> Dict[str, List[int]]:
+        """Every owner's claimed nodes, in claim order.
+
+        JSON-stable (string keys, int lists) and ordered so that
+        replaying ``claim(nodes, owner)`` per entry reconstructs the
+        internal bookkeeping - including release order - bit-exactly.
+        This is the fabric's contribution to
+        :meth:`repro.cloud.service.AllocationService.snapshot`.
+        """
+        return {owner: list(nodes)
+                for owner, nodes in self._owner_nodes.items()}
+
     def defragment_candidates(self, count: int) -> bool:
         """Would ``count`` Slices fit after rescheduling (total capacity)?
 

@@ -34,9 +34,18 @@ equivalence suites pin the service-backed results unchanged.
 from __future__ import annotations
 
 import math
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import (
+    Any, Callable, Deque, Dict, Iterable, List, Optional, Tuple,
+)
 
+from repro.cloud.errors import (
+    DuplicateTenantError,
+    EventValidationError,
+    ServiceError,
+    UnknownTenantError,
+)
 from repro.cloud.fabric import AllocationError, Fabric
 from repro.economics.auction import Allocation, ClearingResult, _clamp
 from repro.economics.backend import resolve_backend
@@ -58,7 +67,8 @@ class TenantRequest:
 
     def __post_init__(self) -> None:
         if self.budget <= 0:
-            raise ValueError("budget must be positive")
+            raise EventValidationError("budget must be positive",
+                                       tenant=self.name)
 
 
 @dataclass(frozen=True)
@@ -87,6 +97,10 @@ class StepResult:
     rationed: bool
     slice_price: float
     bank_price: float
+    #: True when tatonnement failed to converge and the service fell
+    #: back to the last-known-good price vector (graceful degradation;
+    #: requires ``degrade_on_divergence``).
+    degraded: bool = False
 
 
 @dataclass(frozen=True)
@@ -100,11 +114,20 @@ class Event:
 
     def __post_init__(self) -> None:
         if self.kind not in ("submit", "depart", "resize"):
-            raise ValueError(f"unknown event kind {self.kind!r}")
+            raise EventValidationError(
+                f"unknown event kind {self.kind!r}")
         if self.kind == "submit" and self.tenant is None:
-            raise ValueError("submit events need a tenant")
+            raise EventValidationError("submit events need a tenant")
         if self.kind != "submit" and not self.tenant_id:
-            raise ValueError(f"{self.kind} events need a tenant_id")
+            raise EventValidationError(
+                f"{self.kind} events need a tenant_id")
+
+    @property
+    def subject(self) -> str:
+        """The tenant this event names (dead-letter records key)."""
+        if self.kind == "submit":
+            return self.tenant.name if self.tenant is not None else ""
+        return self.tenant_id or ""
 
 
 @dataclass(frozen=True)
@@ -123,6 +146,11 @@ class StreamSummary:
     slice_price: float
     bank_price: float
     fragmentation: float
+    #: Self-healing accounting (zero on strict, fault-free streams).
+    dead_letters: int = 0
+    degraded_steps: int = 0
+    readmitted: int = 0
+    retry_pending: int = 0
 
 
 class _TenantState:
@@ -169,6 +197,12 @@ class AllocationService:
                  initial_slice_price: float = 2.0,
                  initial_bank_price: float = 1.0,
                  kernel: Optional[MarketKernel] = None,
+                 dead_letter_limit: int = 1024,
+                 degrade_on_divergence: bool = False,
+                 readmit_attempts: int = 3,
+                 readmit_backoff: int = 8,
+                 readmit_backoff_cap: int = 128,
+                 readmit_queue_limit: int = 256,
                  obs=None):
         if fabric is not None:
             if slice_supply is None:
@@ -224,9 +258,34 @@ class AllocationService:
         self._perf_k_cache: Dict[Tuple[object, float], object] = {}
         self._spot_market: Optional[Market] = None
 
+        # --- self-healing state -----------------------------------
+        #: Bounded queue of rejected-not-crashed event records
+        #: (lenient mode); each record is a JSON-stable dict.
+        self.dead_letters: Deque[Dict[str, Any]] = deque(
+            maxlen=max(1, dead_letter_limit))
+        self.degrade_on_divergence = degrade_on_divergence
+        self.readmit_attempts = readmit_attempts
+        self.readmit_backoff = max(1, readmit_backoff)
+        self.readmit_backoff_cap = max(1, readmit_backoff_cap)
+        self.readmit_queue_limit = readmit_queue_limit
+        #: Fault hook: each pending unit forces the next ``step()`` to
+        #: behave as a non-converged tatonnement (see
+        #: ``repro.cloud.resilience.FaultInjector``).
+        self.force_nonconverge = 0
+        self._retry_queue: List[Dict[str, Any]] = []
+        self._n_dead_letters: Dict[str, int] = {}
+        self._n_degraded_steps = 0
+        self._n_readmitted = 0
+        self._n_retry_exhausted = 0
+
         from repro.obs import OBS_OFF
 
         scope = (obs or OBS_OFF).scope("cloud.service")
+        self._scope = scope
+        self._dl_counters: Dict[str, Any] = {}
+        self._c_degraded = scope.counter("degraded_steps")
+        self._c_readmitted = scope.counter("readmitted")
+        self._c_retry_exhausted = scope.counter("retry_exhausted")
         self._c_admitted = scope.counter("admitted")
         self._c_rejected_price = scope.counter("rejected_price")
         self._c_rejected_capacity = scope.counter("rejected_capacity")
@@ -258,7 +317,11 @@ class AllocationService:
         return [t.request.name for t in self._roster]
 
     def tenant(self, tenant_id: str) -> TenantRequest:
-        return self._by_name[tenant_id].request
+        state = self._by_name.get(tenant_id)
+        if state is None:
+            raise UnknownTenantError(f"unknown tenant {tenant_id!r}",
+                                     tenant=tenant_id)
+        return state.request
 
     def fragmentation(self) -> float:
         """Current free-Slice fragmentation (0.0 without a fabric)."""
@@ -296,7 +359,9 @@ class AllocationService:
         """
         with self._t_submit:
             if tenant.name in self._by_name:
-                raise ValueError(f"tenant {tenant.name!r} already active")
+                raise DuplicateTenantError(
+                    f"tenant {tenant.name!r} already active",
+                    tenant=tenant.name)
             cache_kb, slices, value = self._best_at_prices(tenant)
             marginal = value / tenant.budget
             if marginal < self.admission_floor:
@@ -332,22 +397,28 @@ class AllocationService:
                 utility=value, marginal_utility=marginal,
             )
 
-    def depart(self, tenant_id: str) -> None:
+    def depart(self, tenant_id: str,
+               compact: bool = True) -> TenantRequest:
         """Remove a tenant: free their tiles, maybe compact, mark
-        prices stale."""
+        prices stale.  ``compact=False`` skips opportunistic
+        defragmentation (used by the fault injector so a churn burst
+        is exactly state-neutral).  Returns the departed request.
+        """
         with self._t_depart:
             state = self._by_name.pop(tenant_id, None)
             if state is None:
-                raise KeyError(f"unknown tenant {tenant_id!r}")
+                raise UnknownTenantError(
+                    f"unknown tenant {tenant_id!r}", tenant=tenant_id)
             self._roster.remove(state)
             self._stack = None
             self._c_departures.inc()
             self._n_departures += 1
             if self.fabric is not None:
                 self.fabric.release(tenant_id)
-                if (self.fabric.slice_fragmentation()
-                        > self.compaction_threshold):
+                if compact and (self.fabric.slice_fragmentation()
+                                > self.compaction_threshold):
                     self._compact()
+            return state.request
 
     def resize(self, tenant_id: str, budget: float) -> AdmissionResult:
         """Change a tenant's budget.
@@ -359,11 +430,13 @@ class AllocationService:
         rejected and the old placement restored exactly.
         """
         if budget <= 0:
-            raise ValueError("budget must be positive")
+            raise EventValidationError("budget must be positive",
+                                       tenant=tenant_id)
         with self._t_resize:
             state = self._by_name.get(tenant_id)
             if state is None:
-                raise KeyError(f"unknown tenant {tenant_id!r}")
+                raise UnknownTenantError(
+                    f"unknown tenant {tenant_id!r}", tenant=tenant_id)
             affordable = self.spot_market().vcores_affordable(
                 budget, state.cache_kb, state.slices
             )
@@ -412,6 +485,11 @@ class AllocationService:
         pre-submit prices.
         """
         with self._t_step:
+            if self.force_nonconverge > 0:
+                # Fault-injected tatonnement failure: behave exactly
+                # like a diverged step that degraded gracefully.
+                self.force_nonconverge -= 1
+                return self._degraded_step(rounds=0)
             if not self._roster:
                 return StepResult(rounds=0, converged=True,
                                   rationed=False,
@@ -419,6 +497,12 @@ class AllocationService:
                                   bank_price=self.bank_price)
             out = self._tatonnement(self.slice_price, self.bank_price,
                                     min_rounds=1)
+            if not out["converged"] and self.degrade_on_divergence:
+                # Graceful degradation: the diverged prices are never
+                # committed - the market keeps serving at the
+                # last-known-good vector (= the current one, since
+                # ``_tatonnement`` works on locals until committed).
+                return self._degraded_step(rounds=out["rounds"])
             self._set_prices(out["slice_price"], out["bank_price"])
             self._c_reprice_rounds.inc(out["rounds"])
             self._n_reprice_rounds += out["rounds"]
@@ -428,6 +512,18 @@ class AllocationService:
                               slice_price=self.slice_price,
                               bank_price=self.bank_price)
 
+    def _degraded_step(self, rounds: int) -> StepResult:
+        """A repricing step that failed: keep last-known-good prices."""
+        self._c_degraded.inc()
+        self._n_degraded_steps += 1
+        self._c_reprice_rounds.inc(rounds)
+        self._n_reprice_rounds += rounds
+        return StepResult(rounds=rounds, converged=False,
+                          rationed=False,
+                          slice_price=self.slice_price,
+                          bank_price=self.bank_price,
+                          degraded=True)
+
     def apply(self, event: Event):
         """Dispatch one :class:`Event` to the matching method."""
         if event.kind == "submit":
@@ -436,16 +532,68 @@ class AllocationService:
             return self.depart(event.tenant_id)
         return self.resize(event.tenant_id, event.budget)
 
+    def process(self, event: Event, index: int = 0, *,
+                strict: bool = True):
+        """Apply one event with optional self-healing.
+
+        Strict mode is :meth:`apply`.  Lenient mode
+        (``strict=False``) turns every :class:`ServiceError` - an
+        unknown tenant, a duplicate submit, a malformed payload - into
+        a bounded dead-letter record plus a per-reason counter instead
+        of a crashed stream, and returns ``None`` for the rejected
+        event.  Anything that is *not* a typed service error still
+        raises: lenient mode absorbs bad events, not bugs.
+        """
+        try:
+            return self.apply(event)
+        except ServiceError as exc:
+            if strict:
+                raise
+            self._dead_letter(event, exc, index)
+            return None
+
     def run(self, events: Iterable[Event],
-            reprice_every: int = 1) -> StreamSummary:
+            reprice_every: int = 1, *,
+            strict: bool = True,
+            readmit: bool = False,
+            injector=None,
+            audit_every: int = 0,
+            checkpoint_every: int = 0,
+            on_checkpoint: Optional[Callable[[int, dict], None]] = None
+            ) -> StreamSummary:
         """Drive a stream of events, repricing every ``reprice_every``
-        events (0 disables automatic repricing)."""
+        events (0 disables automatic repricing).
+
+        The defaults reproduce the historical strict loop bit for bit.
+        ``strict=False`` dead-letters rejectable events instead of
+        raising; ``readmit=True`` re-queues capacity-rejected tenants
+        and retries them with capped backoff after departures free
+        tiles; ``injector`` perturbs the stream with a seeded
+        :class:`~repro.cloud.resilience.FaultInjector`;
+        ``audit_every=N`` runs :meth:`verify_invariants` every N
+        events; ``checkpoint_every=N`` calls ``on_checkpoint(count,
+        snapshot)`` every N events.
+        """
         count = 0
         for event in events:
-            self.apply(event)
+            if injector is not None:
+                injector.perturb(self, count)
+            outcome = self.process(event, count, strict=strict)
+            if readmit:
+                if event.kind == "depart" and outcome is not None:
+                    self.readmit_pending(count)
+                elif (event.kind == "submit" and outcome is not None
+                        and not outcome.admitted
+                        and outcome.reason == "rejected_capacity"):
+                    self.note_capacity_rejection(event.tenant, count)
             count += 1
             if reprice_every and count % reprice_every == 0:
                 self.step()
+            if audit_every and count % audit_every == 0:
+                self.verify_invariants()
+            if (checkpoint_every and on_checkpoint is not None
+                    and count % checkpoint_every == 0):
+                on_checkpoint(count, self.snapshot())
         return self.summary(events=count)
 
     def summary(self, events: int = 0) -> StreamSummary:
@@ -462,7 +610,97 @@ class AllocationService:
             slice_price=self.slice_price,
             bank_price=self.bank_price,
             fragmentation=self.fragmentation(),
+            dead_letters=sum(self._n_dead_letters.values()),
+            degraded_steps=self._n_degraded_steps,
+            readmitted=self._n_readmitted,
+            retry_pending=len(self._retry_queue),
         )
+
+    # ------------------------------------------------------------------
+    # self-healing: dead letters and capacity-retry re-admission
+    # ------------------------------------------------------------------
+
+    @property
+    def dead_letter_counts(self) -> Dict[str, int]:
+        """Total dead-lettered events per rejection reason (unbounded
+        tallies; the queue itself is bounded)."""
+        return dict(self._n_dead_letters)
+
+    def _dead_letter(self, event: Event, exc: ServiceError,
+                     index: int) -> None:
+        reason = getattr(exc, "reason", "service_error")
+        self.dead_letters.append({
+            "index": index,
+            "kind": event.kind,
+            "tenant": event.subject,
+            "reason": reason,
+            "error": str(exc),
+        })
+        self._n_dead_letters[reason] = (
+            self._n_dead_letters.get(reason, 0) + 1)
+        counter = self._dl_counters.get(reason)
+        if counter is None:
+            counter = self._scope.counter(f"dead_letter.{reason}")
+            self._dl_counters[reason] = counter
+        counter.inc()
+
+    def note_capacity_rejection(self, tenant: TenantRequest,
+                                index: int) -> None:
+        """Queue a capacity-rejected tenant for backoff re-admission.
+
+        The queue is bounded and deduplicated by tenant name; the first
+        retry becomes eligible ``readmit_backoff`` events later.
+        """
+        if len(self._retry_queue) >= self.readmit_queue_limit:
+            return
+        if any(e["tenant"].name == tenant.name
+               for e in self._retry_queue):
+            return
+        self._retry_queue.append({
+            "tenant": tenant,
+            "attempts": 0,
+            "next_event": index + self.readmit_backoff,
+        })
+
+    def readmit_pending(self, index: int) -> List[str]:
+        """Retry queued capacity rejections; returns readmitted names.
+
+        Meant to run right after departures free tiles.  Each tenant
+        gets at most ``readmit_attempts`` tries, spaced by capped
+        exponential backoff (``readmit_backoff * 2^attempts`` events,
+        capped at ``readmit_backoff_cap``); a price rejection on retry
+        means the market moved against them and the entry is dropped.
+        """
+        if not self._retry_queue:
+            return []
+        readmitted: List[str] = []
+        still: List[Dict[str, Any]] = []
+        for entry in self._retry_queue:
+            name = entry["tenant"].name
+            if name in self._by_name:
+                continue  # the stream resubmitted them itself
+            if entry["next_event"] > index:
+                still.append(entry)
+                continue
+            outcome = self.submit(entry["tenant"])
+            if outcome.admitted:
+                readmitted.append(name)
+                self._n_readmitted += 1
+                self._c_readmitted.inc()
+                continue
+            entry["attempts"] += 1
+            if (outcome.reason == "rejected_capacity"
+                    and entry["attempts"] < self.readmit_attempts):
+                delay = min(self.readmit_backoff_cap,
+                            self.readmit_backoff
+                            * (2 ** entry["attempts"]))
+                entry["next_event"] = index + delay
+                still.append(entry)
+            else:
+                self._n_retry_exhausted += 1
+                self._c_retry_exhausted.inc()
+        self._retry_queue = still
+        return readmitted
 
     # ------------------------------------------------------------------
     # batch compatibility (the old one-shot auction)
@@ -498,6 +736,169 @@ class AllocationService:
             bank_supply=self.bank_supply,
             rationed=out["rationed"],
         )
+
+    # ------------------------------------------------------------------
+    # checkpoint / restore
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The full logical service state as a JSON-stable dict.
+
+        Captures everything result-affecting - roster (arrival order),
+        per-tenant shapes, prices + price epoch, fabric ownership (in
+        claim order), stream tallies, dead letters, and the retry
+        queue - but none of the derived caches (stacked tensors, flat
+        cost rows, memoized perf rows), which are rebuilt on demand.
+        ``json.dumps`` of the snapshot round-trips bit-exactly: Python
+        serializes floats via ``repr`` (shortest round-trip form).
+        """
+        return {
+            "version": 1,
+            "config": {
+                "backend": self.backend,
+                "slice_supply": self.slice_supply,
+                "bank_supply": self.bank_supply,
+                "fixed_cost": self.fixed_cost,
+            },
+            "prices": {"slice": self.slice_price,
+                       "bank": self.bank_price},
+            "price_epoch": self._price_epoch,
+            "roster": [
+                {
+                    "name": t.request.name,
+                    "benchmark": str(t.request.benchmark),
+                    "utility": {
+                        "name": t.request.utility.name,
+                        "perf_exponent":
+                            t.request.utility.perf_exponent,
+                    },
+                    "budget": t.request.budget,
+                    "cache_kb": t.cache_kb,
+                    "slices": t.slices,
+                    "vcores": t.vcores,
+                }
+                for t in self._roster
+            ],
+            "fabric": (self.fabric.snapshot_owners()
+                       if self.fabric is not None else None),
+            "counters": {
+                "admitted": self._n_admitted,
+                "rejected_price": self._n_rejected_price,
+                "rejected_capacity": self._n_rejected_capacity,
+                "departures": self._n_departures,
+                "resizes": self._n_resizes,
+                "compactions": self._n_compactions,
+                "reprice_rounds": self._n_reprice_rounds,
+                "degraded_steps": self._n_degraded_steps,
+                "readmitted": self._n_readmitted,
+                "retry_exhausted": self._n_retry_exhausted,
+            },
+            "dead_letters": [dict(d) for d in self.dead_letters],
+            "dead_letter_counts": dict(self._n_dead_letters),
+            "retry_queue": [
+                {
+                    "tenant": {
+                        "name": e["tenant"].name,
+                        "benchmark": str(e["tenant"].benchmark),
+                        "utility": {
+                            "name": e["tenant"].utility.name,
+                            "perf_exponent":
+                                e["tenant"].utility.perf_exponent,
+                        },
+                        "budget": e["tenant"].budget,
+                    },
+                    "attempts": e["attempts"],
+                    "next_event": e["next_event"],
+                }
+                for e in self._retry_queue
+            ],
+        }
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        """Reset this service to a :meth:`snapshot` - bit-exact resume.
+
+        The service must have been constructed with the same shape
+        (backend, supplies, fabric geometry) as the snapshotting one;
+        mismatches raise :class:`ValueError` before any state is
+        touched.  A restored run continues exactly as the
+        uninterrupted one would (proven by the crash/resume
+        equivalence suite).
+        """
+        from repro.economics.utility import UtilityFunction
+
+        config = state.get("config", {})
+        for key, ours in (("backend", self.backend),
+                          ("slice_supply", self.slice_supply),
+                          ("bank_supply", self.bank_supply),
+                          ("fixed_cost", self.fixed_cost)):
+            theirs = config.get(key, ours)
+            if theirs != ours:
+                raise ValueError(
+                    f"snapshot {key}={theirs!r} does not match this "
+                    f"service's {key}={ours!r}")
+        self._roster = []
+        self._by_name = {}
+        self._stack = None
+        for row in state["roster"]:
+            util = row["utility"]
+            request = TenantRequest(
+                name=row["name"], benchmark=row["benchmark"],
+                utility=UtilityFunction(
+                    name=util["name"],
+                    perf_exponent=util["perf_exponent"]),
+                budget=row["budget"],
+            )
+            self._register(request, cache_kb=row["cache_kb"],
+                           slices=row["slices"], vcores=row["vcores"])
+        self.slice_price = state["prices"]["slice"]
+        self.bank_price = state["prices"]["bank"]
+        self._price_epoch = state["price_epoch"]
+        self._flat_cost_epoch = -1
+        self._spot_market = None
+        if self.fabric is not None and state["fabric"] is not None:
+            for owner in list(self.fabric.snapshot_owners()):
+                self.fabric.release(owner)
+            for owner, nodes in state["fabric"].items():
+                self.fabric.claim(nodes, owner)
+        counters = state["counters"]
+        self._n_admitted = counters["admitted"]
+        self._n_rejected_price = counters["rejected_price"]
+        self._n_rejected_capacity = counters["rejected_capacity"]
+        self._n_departures = counters["departures"]
+        self._n_resizes = counters["resizes"]
+        self._n_compactions = counters["compactions"]
+        self._n_reprice_rounds = counters["reprice_rounds"]
+        self._n_degraded_steps = counters.get("degraded_steps", 0)
+        self._n_readmitted = counters.get("readmitted", 0)
+        self._n_retry_exhausted = counters.get("retry_exhausted", 0)
+        self.dead_letters.clear()
+        self.dead_letters.extend(dict(d)
+                                 for d in state.get("dead_letters", ()))
+        self._n_dead_letters = dict(state.get("dead_letter_counts", {}))
+        self._retry_queue = []
+        for entry in state.get("retry_queue", ()):
+            row = entry["tenant"]
+            util = row["utility"]
+            self._retry_queue.append({
+                "tenant": TenantRequest(
+                    name=row["name"], benchmark=row["benchmark"],
+                    utility=UtilityFunction(
+                        name=util["name"],
+                        perf_exponent=util["perf_exponent"]),
+                    budget=row["budget"],
+                ),
+                "attempts": entry["attempts"],
+                "next_event": entry["next_event"],
+            })
+        self.force_nonconverge = 0
+
+    def verify_invariants(self) -> None:
+        """Audit the service state; raises
+        :class:`~repro.cloud.errors.InvariantViolation` on corruption.
+        See :func:`repro.cloud.resilience.verify_invariants`."""
+        from repro.cloud.resilience import verify_invariants
+
+        verify_invariants(self)
 
     # ------------------------------------------------------------------
     # internals: admission economics

@@ -31,6 +31,7 @@ import time
 import traceback as _traceback
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
 from typing import (
     Any, Dict, Iterable, List, Optional, Sequence, Tuple,
@@ -52,6 +53,14 @@ from repro.trace.profiles import BenchmarkProfile
 #: Below this many pending grid points a sweep runs serially in-process;
 #: process-pool startup dwarfs the evaluation for small grids.
 DEFAULT_PARALLEL_THRESHOLD = 1024
+
+#: How many fresh pools a sweep tries after a worker process dies
+#: (``BrokenProcessPool``) before giving up on the remaining units.
+DEFAULT_POOL_RETRIES = 2
+
+#: First retry delay after a worker death; doubles per retry, capped.
+POOL_RETRY_BACKOFF_S = 0.05
+POOL_RETRY_BACKOFF_CAP_S = 1.0
 
 KindKey = Tuple[Any, ...]
 
@@ -473,9 +482,12 @@ class SweepEngine:
                  obs: Optional[Observability] = None,
                  timeout_s: Optional[float] = None,
                  sampling: Any = None,
-                 backend: Optional[str] = None):
+                 backend: Optional[str] = None,
+                 pool_retries: int = DEFAULT_POOL_RETRIES):
         if jobs is not None and jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if pool_retries < 0:
+            raise ValueError("pool_retries cannot be negative")
         self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
         self.cache = cache if cache is not None else ResultCache()
         self.parallel_threshold = parallel_threshold
@@ -489,6 +501,9 @@ class SweepEngine:
         #: Backend applied to utility sweeps whose spec doesn't choose
         #: one itself; stamped into every unit's cache key.
         self.backend = backend
+        #: Transient worker deaths tolerated per sweep before the
+        #: remaining units are surfaced as a :class:`WorkUnitError`.
+        self.pool_retries = pool_retries
         # Pre-bound instruments: null objects when obs is off, so the
         # hot scheduling loop never branches on enablement.
         scope = self.obs.scope("engine")
@@ -642,37 +657,77 @@ class SweepEngine:
         On timeout the pool is abandoned without waiting (queued futures
         cancelled, worker processes terminated) so a hung unit cannot
         wedge the sweep's caller.
+
+        A dying worker (``BrokenProcessPool``) is treated as transient:
+        the completed prefix of outcomes is kept, and the un-run tail is
+        retried on a fresh pool up to ``pool_retries`` times with capped
+        exponential backoff.  If the deaths persist, the first un-run
+        unit is surfaced as a failed outcome - the caller caches every
+        completed unit before raising, so a re-run only redoes lost
+        work.
         """
-        chunksize = max(1, math.ceil(len(pending) / (workers * 4)))
-        submitted = time.monotonic()
-        payloads = [(unit, submitted) for unit in pending]
         outcomes: List[Dict[str, Any]] = []
-        pool = ProcessPoolExecutor(max_workers=workers)
-        try:
-            iterator = pool.map(_evaluate_unit_tracked, payloads,
-                                chunksize=chunksize,
-                                timeout=self.timeout_s)
-            while True:
-                try:
-                    outcomes.append(next(iterator))
-                except StopIteration:
-                    break
-                except FuturesTimeout:
-                    stuck = tuple(pending[len(outcomes):])
-                    self._abandon_pool(pool)
-                    names = ", ".join(
-                        u.benchmark for u in stuck[:5]
-                    ) + ("..." if len(stuck) > 5 else "")
-                    raise SweepTimeoutError(
-                        f"sweep timed out after {self.timeout_s:g}s with "
-                        f"{len(stuck)} of {len(pending)} units "
-                        f"outstanding ({names})",
-                        pending_units=stuck,
-                    ) from None
-            pool.shutdown(wait=True)
-        except BaseException:
+        attempt = 0
+        while len(outcomes) < len(pending):
+            remaining = pending[len(outcomes):]
+            chunksize = max(1, math.ceil(len(remaining) / (workers * 4)))
+            submitted = time.monotonic()
+            payloads = [(unit, submitted) for unit in remaining]
+            pool = ProcessPoolExecutor(max_workers=workers)
+            crashed = False
+            try:
+                iterator = pool.map(_evaluate_unit_tracked, payloads,
+                                    chunksize=chunksize,
+                                    timeout=self.timeout_s)
+                while True:
+                    try:
+                        outcomes.append(next(iterator))
+                    except StopIteration:
+                        break
+                    except FuturesTimeout:
+                        stuck = tuple(pending[len(outcomes):])
+                        self._abandon_pool(pool)
+                        names = ", ".join(
+                            u.benchmark for u in stuck[:5]
+                        ) + ("..." if len(stuck) > 5 else "")
+                        raise SweepTimeoutError(
+                            f"sweep timed out after {self.timeout_s:g}s "
+                            f"with {len(stuck)} of {len(pending)} units "
+                            f"outstanding ({names})",
+                            pending_units=stuck,
+                        ) from None
+                    except BrokenProcessPool:
+                        crashed = True
+                        break
+                if not crashed:
+                    pool.shutdown(wait=True)
+                    continue
+            except BaseException:
+                self._abandon_pool(pool)
+                raise
+            # A worker died: the chunk it held is lost, everything
+            # already yielded is good.  Retry the tail; give up after
+            # ``pool_retries`` fresh pools.
             self._abandon_pool(pool)
-            raise
+            first = pending[len(outcomes)]
+            if attempt >= self.pool_retries:
+                outcomes.append({
+                    "pid": 0,
+                    "queue_wait_s": 0.0,
+                    "eval_s": 0.0,
+                    "ok": False,
+                    "error_type": "BrokenProcessPool",
+                    "error_msg": (
+                        f"worker process died evaluating "
+                        f"{first.benchmark!r} and kept dying across "
+                        f"{attempt + 1} pool attempts"),
+                    "traceback": "",
+                })
+                break
+            attempt += 1
+            delay = min(POOL_RETRY_BACKOFF_CAP_S,
+                        POOL_RETRY_BACKOFF_S * (2 ** (attempt - 1)))
+            time.sleep(delay)
         return outcomes
 
     @staticmethod

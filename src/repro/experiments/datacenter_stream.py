@@ -22,9 +22,16 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.cloud.fabric import Fabric
+from repro.cloud.resilience import (
+    DEFAULT_INJECT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    rng_state_from_json,
+    rng_state_to_json,
+)
 from repro.cloud.service import AllocationService, Event, TenantRequest
 from repro.economics.backend import resolve_backend
 from repro.economics.utility import STANDARD_UTILITIES
@@ -49,12 +56,19 @@ RESIZE_FRACTION = 0.06
 ADMISSION_FLOOR = 0.02
 
 #: Metric order of the engine's ``kind="service"`` work-unit rows.
+#: (Extending this tuple requires bumping ``STATS_VERSION`` below so
+#: cached shard rows from older layouts can never alias.)
 STREAM_METRICS = (
     "events", "admitted", "rejected_price", "rejected_capacity",
     "departures", "resizes", "reprice_rounds", "compactions",
     "active_tenants", "events_per_s", "final_fragmentation",
     "slice_price", "bank_price",
+    "dead_letters", "degraded_steps", "readmitted",
 )
+
+#: Stamped into every ``kind="service"`` unit's params (and therefore
+#: its cache key) - bumped whenever the row layout above changes.
+STATS_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -87,14 +101,20 @@ class DatacenterStreamResult(ExperimentResult):
 
 def build_service(backend: Optional[str] = None,
                   admission_floor: float = ADMISSION_FLOOR,
-                  obs=None) -> AllocationService:
-    """One rack-backed service with the experiment's standard knobs."""
+                  obs=None, **service_kwargs) -> AllocationService:
+    """One rack-backed service with the experiment's standard knobs.
+
+    Extra keyword arguments (``degrade_on_divergence``,
+    ``dead_letter_limit``, the readmit knobs, ...) pass straight
+    through to :class:`~repro.cloud.service.AllocationService`.
+    """
     return AllocationService(
         fabric=Fabric(RACK_WIDTH, RACK_HEIGHT),
         backend=backend,
         admission_floor=admission_floor,
         max_vcores=MAX_VCORES,
         obs=obs,
+        **service_kwargs,
     )
 
 
@@ -134,38 +154,79 @@ def drive_stream(service: AllocationService, num_events: int, seed: int,
                  reprice_every: int = 1,
                  collect_latencies: bool = False,
                  serial0: int = 0,
-                 active: Optional[List[str]] = None
+                 active: Optional[List[str]] = None,
+                 *,
+                 strict: bool = True,
+                 readmit: bool = False,
+                 injector: Optional[FaultInjector] = None,
+                 audit_every: int = 0,
+                 checkpoint_every: int = 0,
+                 on_checkpoint: Optional[
+                     Callable[[int, Dict[str, Any]], None]] = None,
+                 rng: Optional[random.Random] = None,
+                 first_index: int = 0
                  ) -> Tuple[Dict[str, float], List[float], int]:
     """Drive ``num_events`` seeded events through a live service.
 
     Returns ``(stats, per_event_latencies_s, serial)``; pass the
     returned ``serial`` (and keep the same ``active`` list) to chain
     segments of one continuous stream.
+
+    Resilience knobs (all default-off; the default path is bit-equal
+    to the historical loop): ``strict=False`` dead-letters rejectable
+    events instead of raising, ``readmit=True`` retries
+    capacity-rejected tenants with capped backoff after departures,
+    ``injector`` perturbs the run with a seeded
+    :class:`~repro.cloud.resilience.FaultInjector`, ``audit_every=N``
+    verifies service invariants every N events, and
+    ``checkpoint_every=N`` hands a resumable checkpoint dict to
+    ``on_checkpoint`` every N events.  ``rng``/``first_index`` are the
+    resume entry points (see :func:`resume_stream`): the loop runs
+    absolute indices ``first_index..num_events``, so repricing and
+    checkpoint boundaries line up with the uninterrupted run.
     """
-    rng = random.Random(seed)
+    if rng is None:
+        rng = random.Random(seed)
     if active is None:
         active = []
     serial = serial0
+    count = num_events - first_index
     latencies: List[float] = []
     before = service.summary()
     t0 = time.perf_counter()
-    for i in range(num_events):
+    for i in range(first_index, num_events):
+        if injector is not None:
+            injector.perturb(service, i)
         event, serial = synthesize_event(rng, active, serial,
                                          active_target, resize_fraction)
         t_event = time.perf_counter() if collect_latencies else 0.0
-        outcome = service.apply(event)
+        outcome = service.process(event, i, strict=strict)
+        if readmit and event.kind == "submit" and outcome is not None \
+                and not outcome.admitted \
+                and outcome.reason == "rejected_capacity":
+            service.note_capacity_rejection(event.tenant, i)
         if reprice_every and (i + 1) % reprice_every == 0:
             service.step()
         if collect_latencies:
             latencies.append(time.perf_counter() - t_event)
-        if event.kind == "submit" and outcome.admitted:
+        if event.kind == "submit" and outcome is not None \
+                and outcome.admitted:
             active.append(event.tenant.name)
-        elif event.kind == "depart":
+        elif event.kind == "depart" and outcome is not None:
             active.remove(event.tenant_id)
+            if readmit:
+                active.extend(service.readmit_pending(i))
+        if audit_every and (i + 1) % audit_every == 0:
+            service.verify_invariants()
+        if (checkpoint_every and on_checkpoint is not None
+                and (i + 1) % checkpoint_every == 0):
+            on_checkpoint(i + 1, make_checkpoint(
+                service, rng, active, serial, i + 1, seed,
+                injector=injector))
     elapsed = time.perf_counter() - t0
     after = service.summary()
     stats = {
-        "events": float(num_events),
+        "events": float(count),
         "admitted": float(after.admitted - before.admitted),
         "rejected_price": float(after.rejected_price
                                 - before.rejected_price),
@@ -177,13 +238,67 @@ def drive_stream(service: AllocationService, num_events: int, seed: int,
                                 - before.reprice_rounds),
         "compactions": float(after.compactions - before.compactions),
         "active_tenants": float(after.active_tenants),
-        "events_per_s": (num_events / elapsed if elapsed > 0
+        "events_per_s": (count / elapsed if elapsed > 0
                          else float("inf")),
         "final_fragmentation": after.fragmentation,
         "slice_price": after.slice_price,
         "bank_price": after.bank_price,
+        "dead_letters": float(after.dead_letters - before.dead_letters),
+        "degraded_steps": float(after.degraded_steps
+                                - before.degraded_steps),
+        "readmitted": float(after.readmitted - before.readmitted),
     }
     return stats, latencies, serial
+
+
+def make_checkpoint(service: AllocationService, rng: random.Random,
+                    active: List[str], serial: int, events_done: int,
+                    seed: int,
+                    injector: Optional[FaultInjector] = None
+                    ) -> Dict[str, Any]:
+    """A resumable stream checkpoint: full service snapshot plus the
+    driver's own state (event RNG, active roster view, name serial)
+    and, when a chaos run, the injector's state.  JSON-stable, so it
+    can be written with
+    :func:`repro.cloud.resilience.save_checkpoint` verbatim."""
+    checkpoint: Dict[str, Any] = {
+        "service": service.snapshot(),
+        "stream": {
+            "rng_state": rng_state_to_json(rng.getstate()),
+            "active": list(active),
+            "serial": serial,
+            "events_done": events_done,
+            "seed": seed,
+        },
+    }
+    if injector is not None:
+        checkpoint["injector"] = injector.snapshot()
+    return checkpoint
+
+
+def resume_stream(service: AllocationService,
+                  checkpoint: Dict[str, Any], num_events: int,
+                  **drive_kwargs
+                  ) -> Tuple[Dict[str, float], List[float], int]:
+    """Resume a killed run from a checkpoint, bit-equal to never dying.
+
+    ``service`` must be a freshly built service of the same shape as
+    the snapshotting one (e.g. :func:`build_service` with the same
+    knobs); its state is replaced by the checkpoint's, the event RNG
+    is rewound to the captured state, and the stream continues at the
+    next absolute event index.  Stats cover the resumed segment only.
+    """
+    service.restore(checkpoint["service"])
+    stream = checkpoint["stream"]
+    injector = drive_kwargs.get("injector")
+    if injector is not None and "injector" in checkpoint:
+        injector.restore(checkpoint["injector"])
+    rng = random.Random()
+    rng.setstate(rng_state_from_json(stream["rng_state"]))
+    return drive_stream(
+        service, num_events, seed=stream["seed"],
+        serial0=stream["serial"], active=list(stream["active"]),
+        rng=rng, first_index=stream["events_done"], **drive_kwargs)
 
 
 def evaluate_shard(params: Dict[str, object]) -> List[List[float]]:
@@ -194,19 +309,35 @@ def evaluate_shard(params: Dict[str, object]) -> List[List[float]]:
     order, which is what :class:`~repro.engine.core.SweepResult`
     re-keys into a grid.
     """
+    fault_rate = float(params.get("fault_rate", 0.0))
+    strict = bool(params.get("strict", fault_rate == 0.0))
+    num_events = int(params["num_events"])
+    injector = None
+    if fault_rate > 0.0:
+        injector = FaultInjector(
+            FaultPlan.seeded(num_events, fault_rate,
+                             int(params.get("chaos_seed", 0)),
+                             kinds=DEFAULT_INJECT_KINDS),
+            seed=int(params.get("chaos_seed", 0)),
+        )
     service = build_service(
         backend=str(params.get("backend", "numpy")),
         admission_floor=float(params.get("admission_floor",
                                          ADMISSION_FLOOR)),
+        degrade_on_divergence=not strict,
     )
     stats, _, _ = drive_stream(
         service,
-        num_events=int(params["num_events"]),
+        num_events=num_events,
         seed=int(params["seed"]),
         active_target=int(params.get("active_target", ACTIVE_TARGET)),
         resize_fraction=float(params.get("resize_fraction",
                                          RESIZE_FRACTION)),
         reprice_every=int(params.get("reprice_every", 1)),
+        strict=strict,
+        readmit=bool(params.get("readmit", False)),
+        injector=injector,
+        audit_every=int(params.get("audit_every", 0)),
     )
     return [[float(i), 0.0, float(stats[name])]
             for i, name in enumerate(STREAM_METRICS)]
@@ -226,25 +357,44 @@ def run(num_events: int = 20_000, seed: int = 11,
         admission_floor: float = ADMISSION_FLOOR,
         reprice_every: int = 1, segments: int = 4,
         shards: int = 1,
+        fault_rate: float = 0.0, chaos_seed: int = 0,
+        strict: Optional[bool] = None, readmit: bool = False,
+        audit_every: int = 0,
+        checkpoint_every: int = 0,
+        checkpoint_path: Optional[str] = None,
         engine=None, obs=None) -> DatacenterStreamResult:
     """Drive one continuous stream, reported in ``segments`` rows.
 
     With ``shards > 1`` and an engine, independent shards fan out as
     ``kind="service"`` work units instead (one row per shard).
+
+    ``fault_rate > 0`` perturbs the stream with a
+    :class:`~repro.cloud.resilience.FaultPlan` seeded by
+    ``chaos_seed``; the service then runs lenient (dead letters,
+    graceful degradation) unless ``strict=True`` is forced.
+    ``checkpoint_every=N`` writes a resumable checkpoint JSON to
+    ``checkpoint_path`` every N events (single-stream mode only).
     """
     start = time.perf_counter()
     backend_name = resolve_backend(backend)
     if obs is None and engine is not None:
         obs = getattr(engine, "obs", None)
+    if strict is None:
+        strict = fault_rate == 0.0
 
     if shards > 1 and engine is not None:
-        sweep = engine.service_map(
-            {"num_events": num_events // shards, "seed": seed,
-             "backend": backend_name, "admission_floor": admission_floor,
-             "active_target": active_target,
-             "reprice_every": reprice_every},
-            shards=shards,
-        )
+        params = {"num_events": num_events // shards, "seed": seed,
+                  "backend": backend_name,
+                  "admission_floor": admission_floor,
+                  "active_target": active_target,
+                  "reprice_every": reprice_every,
+                  "stats_version": STATS_VERSION}
+        if fault_rate > 0.0:
+            params.update({"fault_rate": fault_rate,
+                           "chaos_seed": chaos_seed,
+                           "strict": strict, "readmit": readmit,
+                           "audit_every": audit_every})
+        sweep = engine.service_map(params, shards=shards)
         rows = []
         for shard in range(shards):
             grid = sweep.values[(f"stream/shard{shard}",)]
@@ -256,25 +406,60 @@ def run(num_events: int = 20_000, seed: int = 11,
     else:
         service = build_service(backend=backend_name,
                                 admission_floor=admission_floor,
-                                obs=obs)
+                                obs=obs,
+                                degrade_on_divergence=not strict)
+        injector = None
+        if fault_rate > 0.0:
+            injector = FaultInjector(
+                FaultPlan.seeded(num_events, fault_rate, chaos_seed,
+                                 kinds=DEFAULT_INJECT_KINDS),
+                seed=chaos_seed,
+            )
+        on_checkpoint = None
+        if checkpoint_every and checkpoint_path:
+            from repro.cloud.resilience import save_checkpoint
+
+            def on_checkpoint(count, payload,
+                              _path=checkpoint_path):
+                save_checkpoint(_path, payload)
+
         rows = []
         latencies = []
         active: List[str] = []
         serial = 0
         per_segment = max(1, num_events // max(1, segments))
+        done = 0
         for segment in range(max(1, segments)):
             count = (num_events - per_segment * (segments - 1)
                      if segment == segments - 1 else per_segment)
             stats, lats, serial = drive_stream(
-                service, count, seed + segment,
+                service, done + count, seed + segment,
                 active_target=active_target,
                 reprice_every=reprice_every,
                 collect_latencies=True,
                 serial0=serial, active=active,
+                strict=strict, readmit=readmit, injector=injector,
+                audit_every=audit_every,
+                checkpoint_every=checkpoint_every,
+                on_checkpoint=on_checkpoint,
+                first_index=done,
             )
+            done += count
             stats["segment"] = f"q{segment + 1}"
             rows.append(stats)
             latencies.extend(lats)
+
+    run_params = {"num_events": num_events, "seed": seed,
+                  "backend": backend_name,
+                  "active_target": active_target,
+                  "admission_floor": admission_floor,
+                  "reprice_every": reprice_every,
+                  "shards": shards,
+                  "rack": f"{RACK_WIDTH}x{RACK_HEIGHT}"}
+    if fault_rate > 0.0:
+        run_params.update({"fault_rate": fault_rate,
+                           "chaos_seed": chaos_seed,
+                           "strict": strict, "readmit": readmit})
 
     total_events = sum(r["events"] for r in rows)
     total_elapsed = sum(r["events"] / r["events_per_s"] for r in rows
@@ -287,13 +472,7 @@ def run(num_events: int = 20_000, seed: int = 11,
     latencies.sort()
     return DatacenterStreamResult(
         name=NAME,
-        params={"num_events": num_events, "seed": seed,
-                "backend": backend_name,
-                "active_target": active_target,
-                "admission_floor": admission_floor,
-                "reprice_every": reprice_every,
-                "shards": shards,
-                "rack": f"{RACK_WIDTH}x{RACK_HEIGHT}"},
+        params=run_params,
         rows=tuple(rows),
         elapsed=time.perf_counter() - start,
         num_events=int(total_events),
@@ -325,6 +504,13 @@ def render(result: DatacenterStreamResult) -> None:
     print(f"  throughput: {result.events_per_s:.0f} events/s, "
           f"rejection rate {result.rejection_rate:.1%}, "
           f"mean {result.mean_rounds:.2f} rounds/step")
+    dead = sum(row.get("dead_letters", 0.0) for row in result.rows)
+    degraded = sum(row.get("degraded_steps", 0.0) for row in result.rows)
+    readmitted = sum(row.get("readmitted", 0.0) for row in result.rows)
+    if dead or degraded or readmitted:
+        print(f"  resilience: {dead:.0f} dead-lettered, "
+              f"{degraded:.0f} degraded steps, "
+              f"{readmitted:.0f} re-admitted")
     if result.latency_p99_ms:
         print(f"  latency: p50 {result.latency_p50_ms:.3f} ms, "
               f"p99 {result.latency_p99_ms:.3f} ms")

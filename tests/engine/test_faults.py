@@ -10,6 +10,7 @@ method propagates the patch into pool workers.
 """
 
 import multiprocessing
+import os
 import time
 
 import pytest
@@ -132,6 +133,75 @@ class TestHungWorker:
         engine = _engine(tmp_path, jobs=1, timeout_s=0.000001)
         sweep = engine.run(_spec("gcc"))
         assert sweep.units == 1
+
+
+class TestWorkerDeath:
+    """A worker process dying (``os._exit``, OOM-kill analog) must be
+    retried on a fresh pool; only persistent deaths surface, and every
+    unit completed before the death is cached first."""
+
+    @staticmethod
+    def _die_on_bzip(sentinel, once):
+        """Worker hook: die hard on the bzip unit (optionally only the
+        first time); the sleep lets the sibling gcc unit finish and be
+        yielded before the pool breaks, keeping outcome order
+        deterministic."""
+        real = engine_core.evaluate_unit
+
+        def hook(unit):
+            if unit.benchmark == "bzip":
+                time.sleep(0.5)
+                if once:
+                    try:
+                        sentinel.touch(exist_ok=False)
+                    except FileExistsError:
+                        return real(unit)
+                os._exit(1)
+            return real(unit)
+
+        return hook
+
+    @pytest.mark.skipif(not IS_FORK,
+                        reason="monkeypatch propagation needs fork")
+    def test_transient_death_recovers_on_retry(self, tmp_path,
+                                               monkeypatch):
+        sentinel = tmp_path / "died_once"
+        monkeypatch.setattr(engine_core, "evaluate_unit",
+                            self._die_on_bzip(sentinel, once=True))
+        engine = _engine(tmp_path, jobs=2, parallel_threshold=1)
+        spec = _spec()
+        sweep = engine.run(spec)
+        assert sentinel.exists()  # the crash really happened
+        assert sweep.units == 2 and sweep.cache_misses == 2
+        for unit in spec.expand():
+            assert engine.cache.get(unit.cache_key()) is not None
+
+    @pytest.mark.skipif(not IS_FORK,
+                        reason="monkeypatch propagation needs fork")
+    def test_persistent_death_exhausts_retries(self, tmp_path,
+                                               monkeypatch):
+        sentinel = tmp_path / "unused"
+        monkeypatch.setattr(engine_core, "evaluate_unit",
+                            self._die_on_bzip(sentinel, once=False))
+        engine = _engine(tmp_path, jobs=2, parallel_threshold=1,
+                         pool_retries=1)
+        spec = _spec()
+        keys = {u.benchmark: u.cache_key() for u in spec.expand()}
+        with pytest.raises(WorkUnitError) as excinfo:
+            engine.run(spec)
+        assert "BrokenProcessPool" in str(excinfo.value)
+        assert "bzip" in str(excinfo.value)
+        # The completed sibling was cached before the error surfaced.
+        assert engine.cache.get(keys["gcc"]) is not None
+        assert engine.cache.get(keys["bzip"]) is None
+        # A healthy re-run only redoes the lost unit.
+        monkeypatch.undo()
+        sweep = engine.run(spec)
+        assert sweep.cache_hits == 1 and sweep.cache_misses == 1
+
+    def test_pool_retries_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            _engine(tmp_path, pool_retries=-1)
 
 
 class TestCorruptedCache:
