@@ -95,17 +95,25 @@ def _cmd_simulate(args) -> int:
         obs = Observability(trace=args.trace is not None)
     warmup, trace = make_workload(args.benchmark, args.length,
                                   seed=args.seed)
+    backend = args.sim_backend
+    if backend == "batched" and obs is not None:
+        print("--backend batched has no per-instruction observability; "
+              "drop --obs/--trace or use --backend python",
+              file=sys.stderr)
+        return 2
     summary = None
     if args.sampling:
         from repro.sampling import simulate_sampled
         result = simulate_sampled(trace, num_slices=args.slices,
                                   l2_cache_kb=args.cache_kb,
-                                  warmup_addresses=warmup, obs=obs)
+                                  warmup_addresses=warmup, obs=obs,
+                                  backend=backend)
         summary = result.sampling
     else:
         result = simulate(trace, num_slices=args.slices,
                           l2_cache_kb=args.cache_kb,
-                          warmup_addresses=warmup, obs=obs)
+                          warmup_addresses=warmup, obs=obs,
+                          backend=backend)
     print(f"{args.benchmark} on ({args.slices} Slices, "
           f"{args.cache_kb:.0f} KB L2):")
     for key, value in result.stats.summary().items():
@@ -255,6 +263,11 @@ def build_parser() -> argparse.ArgumentParser:
                           "(open in ui.perfetto.dev)")
     sim.add_argument("--metrics-out", metavar="PATH", default=None,
                      help="write stats + instrument snapshot as JSON")
+    sim.add_argument("--backend", dest="sim_backend",
+                     choices=("python", "batched"), default="python",
+                     help="simulator backend: the scalar reference or "
+                          "the structure-of-arrays batched backend "
+                          "(bit-identical stats, faster)")
     sim_mode = sim.add_mutually_exclusive_group()
     sim_mode.add_argument("--sampling", action="store_true",
                           help="interval-sampled run (reports IPC with "

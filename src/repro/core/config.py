@@ -176,12 +176,23 @@ class SimConfig:
     #: violation-replay (the paper's unordered, late-binding design).
     ordered_lsq: bool = False
     max_cycles: int = 2_000_000
+    #: Simulator implementation: "python" is the scalar reference
+    #: (``SharingSimulator``), "batched" the structure-of-arrays backend
+    #: (``repro.core.batched``, bit-identical stats, many configurations
+    #: per pass).  Part of ``fingerprint()``, so engine work-unit cache
+    #: entries from the two backends never alias.
+    backend: str = "python"
 
     def __post_init__(self) -> None:
         if self.fetch_assignment not in ("pc", "dynamic"):
             raise ValueError(
                 f"fetch_assignment must be 'pc' or 'dynamic', "
                 f"got {self.fetch_assignment!r}"
+            )
+        if self.backend not in ("python", "batched"):
+            raise ValueError(
+                f"backend must be 'python' or 'batched', "
+                f"got {self.backend!r}"
             )
 
     def with_vcore(self, num_slices: int, l2_cache_kb: float) -> "SimConfig":

@@ -864,7 +864,8 @@ def simulate(trace: Trace, num_slices: int = 1, l2_cache_kb: float = 128.0,
              warmup_trace: Optional[Trace] = None,
              warmup_addresses: Optional[Sequence[int]] = None,
              timeout: Optional[int] = None,
-             obs: Optional[Observability] = None) -> SimResult:
+             obs: Optional[Observability] = None,
+             backend: Optional[str] = None) -> SimResult:
     """Convenience wrapper: simulate ``trace`` on one VCore configuration.
 
     Takes the same keywords as :class:`SharingSimulator` (``num_slices``,
@@ -873,7 +874,23 @@ def simulate(trace: Trace, num_slices: int = 1, l2_cache_kb: float = 128.0,
     an :class:`~repro.obs.Observability` instance: its registry gets the
     per-component counters, and (when tracing) its tracer records the
     pipeline/cache/network event stream for Chrome trace export.
+
+    ``backend`` overrides ``config.backend``: ``"python"`` runs this
+    module's scalar reference, ``"batched"`` the bit-identical
+    structure-of-arrays backend (:mod:`repro.core.batched`).
     """
+    if backend is None:
+        backend = config.backend if config is not None else "python"
+    if backend == "batched":
+        from repro.core.batched import simulate_batched
+
+        return simulate_batched(
+            trace, num_slices=num_slices, l2_cache_kb=l2_cache_kb,
+            config=config, warmup_trace=warmup_trace,
+            warmup_addresses=warmup_addresses, timeout=timeout, obs=obs)
+    if backend != "python":
+        raise ValueError(
+            f"backend must be 'python' or 'batched', got {backend!r}")
     return SharingSimulator(trace, config=config, num_slices=num_slices,
                             l2_cache_kb=l2_cache_kb,
                             warmup_trace=warmup_trace,

@@ -155,101 +155,121 @@ class SampledSimulator:
 
     def _extrapolate(self, cpis: List[float],
                      head_cycles: int = 0) -> SimResult:
-        """Two-stratum estimator: exact head cycles + sampled tail CPI.
-
-        ``total_cycles ~= head_cycles + tail_insts * mean(CPI_i)``; all
-        statistical uncertainty lives in the tail term, so the CI is the
-        per-window CPI variance propagated through the tail only.
-        """
         sim = self.sim
-        cfg = self.sampling
-        total = len(sim.trace)
-        head = self.schedule.head
-        tail = total - head
-        n = len(cpis)
-        cpi_mean = sum(cpis) / n
-        if n > 1:
-            var = sum((c - cpi_mean) ** 2 for c in cpis) / (n - 1)
-            cpi_std = math.sqrt(var)
-        else:
-            cpi_std = 0.0
-        est_cycles = head_cycles + tail * cpi_mean
-        ipc_hat = total / est_cycles
-
-        # CI on total cycles -> CI on IPC (monotone transform), then
-        # widen to the systematic bias floor.
-        hw_cycles = cfg.confidence_z * (cpi_std / math.sqrt(n)) * tail
-        if hw_cycles < est_cycles:
-            ipc_lo = total / (est_cycles + hw_cycles)
-            ipc_hi = total / (est_cycles - hw_cycles)
-        else:  # variance blew past the mean: clamp at zero
-            ipc_lo = 0.0
-            ipc_hi = 2.0 * ipc_hat
-        floor = cfg.bias_floor * ipc_hat
-        ipc_lo = min(ipc_lo, ipc_hat - floor)
-        ipc_hi = max(ipc_hi, ipc_hat + floor)
-
-        stats = self._scaled_stats(ipc_hat)
-        summary = SamplingSummary(
-            windows=n,
-            measured_instructions=self.schedule.measured_instructions,
-            detailed_instructions=sim.stats.committed,
-            fast_forwarded=sim.ff_retired,
-            total_instructions=total,
-            head_instructions=head,
-            cpi_mean=cpi_mean,
-            cpi_std=cpi_std,
-            ipc_estimate=ipc_hat,
-            ci_halfwidth=max(ipc_hi - ipc_hat, ipc_hat - ipc_lo),
-        )
-        return SimResult(
+        return extrapolate_sampled(
             benchmark=sim.trace.metadata.benchmark,
             num_slices=sim.vcore.num_slices,
             l2_cache_kb=sim.vcore.l2_cache_kb,
-            stats=stats,
-            sampled=True,
-            ipc_ci=(ipc_lo, ipc_hi),
-            sampling=summary,
+            total=len(sim.trace),
+            schedule=self.schedule,
+            sampling=self.sampling,
+            stats=sim.stats,
+            ff_retired=sim.ff_retired,
+            cpis=cpis,
+            head_cycles=head_cycles,
         )
 
-    def _scaled_stats(self, ipc_hat: float) -> SimStats:
-        """Full-trace statistics extrapolated from the detailed windows.
 
-        Window-only counters scale by ``total / detailed``; the L1D and
-        L2 counters are already full-trace (fast-forward streams every
-        access through the hierarchy) and pass through unscaled.
-        """
-        measured = self.sim.stats
-        total = len(self.sim.trace)
-        detailed = max(1, measured.committed)
-        scale = total / detailed
+def _scaled_stats(measured: SimStats, total: int,
+                  ipc_hat: float) -> SimStats:
+    """Full-trace statistics extrapolated from the detailed windows.
 
-        def s(count: int) -> int:
-            return round(count * scale)
+    Window-only counters scale by ``total / detailed``; the L1D and
+    L2 counters are already full-trace (fast-forward streams every
+    access through the hierarchy) and pass through unscaled.
+    """
+    detailed = max(1, measured.committed)
+    scale = total / detailed
 
-        stalls = StallBreakdown(**{
-            name: s(value)
-            for name, value in measured.stalls.as_dict().items()
-        })
-        return SimStats(
-            cycles=max(1, round(total / ipc_hat)),
-            fetched=s(measured.fetched),
-            committed=total,
-            squashed=s(measured.squashed),
-            branches=s(measured.branches),
-            branch_mispredicts=s(measured.branch_mispredicts),
-            l1i_accesses=s(measured.l1i_accesses),
-            l1i_misses=s(measured.l1i_misses),
-            l1d_accesses=measured.l1d_accesses,
-            l1d_misses=measured.l1d_misses,
-            l2_accesses=measured.l2_accesses,
-            l2_misses=measured.l2_misses,
-            operand_requests=s(measured.operand_requests),
-            remote_operand_hops=s(measured.remote_operand_hops),
-            lsq_violations=s(measured.lsq_violations),
-            store_forwards=s(measured.store_forwards),
-            stalls=stalls,
-        )
+    def s(count: int) -> int:
+        return round(count * scale)
+
+    stalls = StallBreakdown(**{
+        name: s(value)
+        for name, value in measured.stalls.as_dict().items()
+    })
+    return SimStats(
+        cycles=max(1, round(total / ipc_hat)),
+        fetched=s(measured.fetched),
+        committed=total,
+        squashed=s(measured.squashed),
+        branches=s(measured.branches),
+        branch_mispredicts=s(measured.branch_mispredicts),
+        l1i_accesses=s(measured.l1i_accesses),
+        l1i_misses=s(measured.l1i_misses),
+        l1d_accesses=measured.l1d_accesses,
+        l1d_misses=measured.l1d_misses,
+        l2_accesses=measured.l2_accesses,
+        l2_misses=measured.l2_misses,
+        operand_requests=s(measured.operand_requests),
+        remote_operand_hops=s(measured.remote_operand_hops),
+        lsq_violations=s(measured.lsq_violations),
+        store_forwards=s(measured.store_forwards),
+        stalls=stalls,
+    )
+
+
+def extrapolate_sampled(*, benchmark: str, num_slices: int,
+                        l2_cache_kb: float, total: int,
+                        schedule: Schedule, sampling: SamplingConfig,
+                        stats: SimStats, ff_retired: int,
+                        cpis: Sequence[float],
+                        head_cycles: int = 0) -> SimResult:
+    """Two-stratum estimator: exact head cycles + sampled tail CPI.
+
+    ``total_cycles ~= head_cycles + tail_insts * mean(CPI_i)``; all
+    statistical uncertainty lives in the tail term, so the CI is the
+    per-window CPI variance propagated through the tail only.  Shared by
+    :class:`SampledSimulator` and the batched backend's ``run_sampled``
+    (same window CPIs in must mean same ``SimResult`` out).
+    """
+    cfg = sampling
+    head = schedule.head
+    tail = total - head
+    n = len(cpis)
+    cpi_mean = sum(cpis) / n
+    if n > 1:
+        var = sum((c - cpi_mean) ** 2 for c in cpis) / (n - 1)
+        cpi_std = math.sqrt(var)
+    else:
+        cpi_std = 0.0
+    est_cycles = head_cycles + tail * cpi_mean
+    ipc_hat = total / est_cycles
+
+    # CI on total cycles -> CI on IPC (monotone transform), then
+    # widen to the systematic bias floor.
+    hw_cycles = cfg.confidence_z * (cpi_std / math.sqrt(n)) * tail
+    if hw_cycles < est_cycles:
+        ipc_lo = total / (est_cycles + hw_cycles)
+        ipc_hi = total / (est_cycles - hw_cycles)
+    else:  # variance blew past the mean: clamp at zero
+        ipc_lo = 0.0
+        ipc_hi = 2.0 * ipc_hat
+    floor = cfg.bias_floor * ipc_hat
+    ipc_lo = min(ipc_lo, ipc_hat - floor)
+    ipc_hi = max(ipc_hi, ipc_hat + floor)
+
+    summary = SamplingSummary(
+        windows=n,
+        measured_instructions=schedule.measured_instructions,
+        detailed_instructions=stats.committed,
+        fast_forwarded=ff_retired,
+        total_instructions=total,
+        head_instructions=head,
+        cpi_mean=cpi_mean,
+        cpi_std=cpi_std,
+        ipc_estimate=ipc_hat,
+        ci_halfwidth=max(ipc_hi - ipc_hat, ipc_hat - ipc_lo),
+    )
+    return SimResult(
+        benchmark=benchmark,
+        num_slices=num_slices,
+        l2_cache_kb=l2_cache_kb,
+        stats=_scaled_stats(stats, total, ipc_hat),
+        sampled=True,
+        ipc_ci=(ipc_lo, ipc_hi),
+        sampling=summary,
+    )
 
 
 def simulate_sampled(trace: Trace, num_slices: int = 1,
@@ -260,9 +280,31 @@ def simulate_sampled(trace: Trace, num_slices: int = 1,
                      warmup_addresses: Optional[Sequence[int]] = None,
                      timeout: Optional[int] = None,
                      obs: Optional[Observability] = None,
-                     phase_lengths: Optional[Sequence[int]] = None
-                     ) -> SimResult:
-    """Sampled counterpart of :func:`repro.core.simulator.simulate`."""
+                     phase_lengths: Optional[Sequence[int]] = None,
+                     backend: Optional[str] = None) -> SimResult:
+    """Sampled counterpart of :func:`repro.core.simulator.simulate`.
+
+    ``backend`` overrides ``config.backend``; ``"batched"`` composes
+    interval sampling with the structure-of-arrays backend (sampled and
+    batched speedups multiply).
+    """
+    if backend is None:
+        backend = config.backend if config is not None else "python"
+    if backend == "batched":
+        from repro.core.batched import BatchedSimulator
+
+        sim = BatchedSimulator(
+            trace, [(num_slices, l2_cache_kb)], config=config,
+            warmup_traces=([warmup_trace]
+                           if warmup_trace is not None else None),
+            warmup_addresses=([warmup_addresses]
+                              if warmup_addresses is not None else None),
+            timeout=timeout, obs=obs,
+        )
+        return sim.run_sampled(sampling, phase_lengths=phase_lengths)[0]
+    if backend != "python":
+        raise ValueError(
+            f"backend must be 'python' or 'batched', got {backend!r}")
     return SampledSimulator(
         trace, config=config, sampling=sampling, num_slices=num_slices,
         l2_cache_kb=l2_cache_kb, warmup_trace=warmup_trace,

@@ -1,0 +1,162 @@
+"""Dual-path equivalence: the batched SoA backend vs the scalar simulator.
+
+The batched backend (:mod:`repro.core.batched`) is an independent
+re-implementation of the pipeline over flat columns; its only
+correctness contract is **bit-identity** with the scalar
+:class:`~repro.core.simulator.SharingSimulator` on every
+:class:`~repro.core.stats.SimStats` field of every configuration.
+These tests pin that contract:
+
+* the Figure 12 grid (every Slice count at the 128 KB baseline) and the
+  Figure 13 grid (every nonzero cache size at 4 Slices) for sentinel
+  profiles in tier-1, and for **all fifteen** profiles when
+  ``REPRO_EQUIVALENCE_FULL=1`` (the CI batched-equiv job sets it);
+* randomized configurations drawn from ``REPRO_EQUIV_SEED`` (the CI job
+  runs two seed universes), exercising the multi-trace lane axis;
+* equality is ``SimResult == SimResult`` - cycles, every event counter
+  and the full stall breakdown - not an IPC tolerance band.
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.core.batched import BatchedSimulator
+from repro.core.simulator import simulate
+from repro.trace.materialize import get_workload
+from repro.trace.profiles import all_benchmarks
+
+LENGTH = 4000
+SEED = 1
+
+#: Figure 12 axis: Slice scaling at the paper's 128 KB baseline.
+FIG12_GRID = tuple((ns, 128.0) for ns in (1, 2, 3, 4, 5, 6, 7, 8))
+#: Figure 13 axis: cache scaling at 4 Slices (0 KB is analytic-only).
+FIG13_GRID = tuple((4, float(kb))
+                   for kb in (64, 128, 256, 512, 1024, 2048, 4096, 8192))
+
+SENTINELS = ("gcc", "swaptions", "astar")
+
+FULL = os.environ.get("REPRO_EQUIVALENCE_FULL") == "1"
+EQUIV_SEED = int(os.environ.get("REPRO_EQUIV_SEED", "0"))
+
+
+def _diff(bench, ns, kb, scalar, batched):
+    lines = [f"{bench} ns={ns} kb={kb:g}: batched diverged"]
+    for field in scalar.stats.__dataclass_fields__:
+        a = getattr(scalar.stats, field)
+        b = getattr(batched.stats, field)
+        if a != b:
+            lines.append(f"  {field}: scalar={a} batched={b}")
+    return "\n".join(lines)
+
+
+def _check_profile(bench, grid):
+    warmup, trace = get_workload(bench, LENGTH, SEED)
+    batched = BatchedSimulator(trace, list(grid),
+                               warmup_addresses=[warmup]).run()
+    for (ns, kb), got in zip(grid, batched):
+        want = simulate(trace, num_slices=ns, l2_cache_kb=kb,
+                        warmup_addresses=warmup)
+        assert want == got, _diff(bench, ns, kb, want, got)
+
+
+@pytest.mark.parametrize("bench", SENTINELS)
+def test_sentinel_fig12_grid(bench):
+    _check_profile(bench, FIG12_GRID)
+
+
+@pytest.mark.parametrize("bench", SENTINELS)
+def test_sentinel_fig13_grid(bench):
+    _check_profile(bench, FIG13_GRID)
+
+
+@pytest.mark.skipif(not FULL, reason="set REPRO_EQUIVALENCE_FULL=1 "
+                    "for the full fifteen-profile sweep (CI batched-equiv)")
+@pytest.mark.parametrize("bench", sorted(all_benchmarks()))
+def test_full_profile_sweep(bench):
+    if not FULL:  # pragma: no cover - skipif handles it
+        return
+    _check_profile(bench, FIG12_GRID + FIG13_GRID)
+
+
+def test_randomized_rows_multi_trace():
+    """Seeded random configurations on the shared multi-trace lane axis.
+
+    One BatchedSimulator instance carries lanes over *different* traces
+    (the ``(trace_index, num_slices, l2_cache_kb)`` spec form); every
+    lane must still match its own scalar run exactly.
+    """
+    rng = random.Random(EQUIV_SEED)
+    benches = rng.sample(sorted(all_benchmarks()), 3)
+    workloads = [get_workload(b, rng.randrange(2500, 6000), rng.randrange(100))
+                 for b in benches]
+    lanes = []
+    for tidx in range(len(benches)):
+        for _ in range(2):
+            lanes.append((tidx, rng.randrange(1, 9),
+                          float(rng.choice((64, 128, 256, 512, 1024)))))
+    batched = BatchedSimulator(
+        [trace for _, trace in workloads], lanes,
+        warmup_addresses=[warm for warm, _ in workloads]).run()
+    for (tidx, ns, kb), got in zip(lanes, batched):
+        warm, trace = workloads[tidx]
+        want = simulate(trace, num_slices=ns, l2_cache_kb=kb,
+                        warmup_addresses=warm)
+        assert want == got, _diff(benches[tidx], ns, kb, want, got)
+
+
+def test_sampled_composition_matches_scalar_sampled():
+    """Interval sampling composed with the batched backend must produce
+    the same extrapolated result as the scalar SampledSimulator."""
+    from repro.sampling import SamplingConfig, simulate_sampled
+
+    warmup, trace = get_workload("gcc", 30_000, 3)
+    sampling = SamplingConfig(interval=3000, warmup=300, detail=900)
+    scalar = simulate_sampled(trace, num_slices=4, l2_cache_kb=256.0,
+                              sampling=sampling, warmup_addresses=warmup)
+    batched = simulate_sampled(trace, num_slices=4, l2_cache_kb=256.0,
+                               sampling=sampling, warmup_addresses=warmup,
+                               backend="batched")
+    assert scalar == batched
+
+
+def test_backend_dispatch_through_simulate():
+    """``simulate(..., backend="batched")`` and ``SimConfig.backend``
+    both route to the batched backend and agree with the scalar path."""
+    from repro.core.config import SimConfig
+
+    warmup, trace = get_workload("mcf", 3000, 2)
+    want = simulate(trace, num_slices=2, l2_cache_kb=256.0,
+                    warmup_addresses=warmup)
+    via_kwarg = simulate(trace, num_slices=2, l2_cache_kb=256.0,
+                         warmup_addresses=warmup, backend="batched")
+    via_config = simulate(trace, num_slices=2, l2_cache_kb=256.0,
+                          warmup_addresses=warmup,
+                          config=SimConfig(backend="batched"))
+    assert want == via_kwarg == via_config
+    with pytest.raises(ValueError):
+        simulate(trace, num_slices=2, l2_cache_kb=256.0,
+                 warmup_addresses=warmup, backend="fortran")
+
+
+def test_predictor_tensor_exports():
+    """The numpy views of the per-lane predictor/BTB state expose the
+    (lane, slice, entry) layout with construction-value padding for
+    Slices a narrower lane does not have."""
+    warmup, trace = get_workload("gcc", 2000, 5)
+    sim = BatchedSimulator(trace, [(2, 128.0), (4, 128.0)],
+                           warmup_addresses=[warmup])
+    sim.run()
+    pred = sim.pred_tensor()
+    btb = sim.btb_tensor()
+    assert pred.shape == (2, 4, sim.bp_entries)
+    assert btb.shape == (2, 4, sim.btb_entries)
+    # Live entries are 2-bit counters; the trained tables moved off the
+    # all-ones init somewhere.
+    assert pred.min() >= 0 and pred.max() <= 3
+    assert (pred != 1).any() and (btb != -1).any()
+    # Lane 0 has only 2 Slices: rows 2..3 stay at the pad values.
+    assert (pred[0, 2:] == 1).all()
+    assert (btb[0, 2:] == -1).all()

@@ -134,6 +134,8 @@ class TestKeyPerturbation:
             return "gshare"
         if value == "pc":
             return "dynamic"
+        if value == "python":
+            return "batched"
         return None
 
     def _assert_each_field_moves_key(self, obj, rebuild):

@@ -1,0 +1,203 @@
+"""Property tests: batched SoA pipeline structures vs scalar oracles.
+
+:class:`~repro.core.batched.BatchedROB` and
+:class:`~repro.core.batched.BatchedLSQ` carry several lanes (one per
+simulated configuration) over one occupancy tensor each.  These tests
+drive every lane through a random op stream alongside an independent
+scalar oracle per lane - :class:`~repro.core.rob.DistributedROB` and
+:class:`~repro.core.lsq.LSQBank` - and assert identical admission
+decisions, identical pop/squash results and identical occupancy at
+every step, including lanes whose capacities differ so their decisions
+*diverge* mid-stream.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.batched import BatchedLSQ, BatchedROB
+from repro.core.lsq import LSQBank
+from repro.core.rob import DistributedROB
+
+
+class _Dyn:
+    """Minimal DynInst stand-in: the ROB only reads seq and slice_id."""
+
+    __slots__ = ("seq", "slice_id", "squashed")
+
+    def __init__(self, seq, slice_id):
+        self.seq = seq
+        self.slice_id = slice_id
+        self.squashed = False
+
+
+# One ROB op: (kind, slice_id) where kind 0=dispatch, 1=commit, 2=flush.
+rob_ops = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=2),
+              st.integers(min_value=0, max_value=3)),
+    min_size=1, max_size=60,
+)
+
+#: Lane configurations chosen to diverge: capacity 2 lanes start
+#: refusing dispatches while capacity 64 lanes still admit.
+ROB_LANES = ((4, 2), (4, 64), (2, 3))  # (num_slices, per_slice_capacity)
+
+
+class TestBatchedROBvsOracle:
+    @given(ops=rob_ops)
+    @settings(max_examples=80, deadline=None)
+    def test_lockstep_matches_per_lane_oracle(self, ops):
+        # One BatchedROB per capacity class (the real simulator builds
+        # one per lane; the tensor shape just needs max_slices).
+        max_slices = max(ns for ns, _ in ROB_LANES)
+        batched = {
+            cap: BatchedROB(len(ROB_LANES), max_slices, cap)
+            for _, cap in ROB_LANES
+        }
+        oracles = [DistributedROB(ns, per_slice_capacity=cap)
+                   for ns, cap in ROB_LANES]
+        next_seq = [0] * len(ROB_LANES)
+        slice_of = {lane: {} for lane in range(len(ROB_LANES))}
+
+        for kind, raw_slice in ops:
+            for lane, (ns, cap) in enumerate(ROB_LANES):
+                rob = batched[cap]
+                oracle = oracles[lane]
+                sid = raw_slice % ns
+                if kind == 0:
+                    can = rob.can_dispatch(lane, sid)
+                    assert can == oracle.can_dispatch(sid)
+                    if can:
+                        seq = next_seq[lane]
+                        rob.dispatch(lane, sid, seq)
+                        assert oracle.dispatch(_Dyn(seq, sid))
+                        slice_of[lane][seq] = sid
+                        next_seq[lane] += 1
+                elif kind == 1:
+                    head = rob.head(lane)
+                    oracle_head = oracle.head()
+                    assert head == (-1 if oracle_head is None
+                                    else oracle_head.seq)
+                    if head >= 0:
+                        popped = rob.pop_head(lane, slice_of[lane][head])
+                        assert popped == oracle.pop_head().seq == head
+                else:
+                    cut = next_seq[lane] // 2
+                    lookup = [0] * max(1, next_seq[lane])
+                    for seq, sid_ in slice_of[lane].items():
+                        lookup[seq] = sid_
+                    got = rob.squash_younger(lane, cut, lookup)
+                    want = [d.seq for d in oracle.squash_younger(cut)]
+                    assert got == want
+                # Occupancy identical after every op, per slice.
+                for sid_ in range(ns):
+                    assert (rob.occupancy[lane][sid_]
+                            == oracle.occupancy_of(sid_))
+                assert (sum(rob.occupancy[lane]) == len(oracle))
+
+    @given(ops=rob_ops)
+    @settings(max_examples=40, deadline=None)
+    def test_lanes_diverge_independently(self, ops):
+        """A full tight lane must never block a roomy lane's dispatch."""
+        rob = BatchedROB(2, 1, 2)  # lane 0 and 1, one slice, capacity 2
+        roomy = BatchedROB(2, 1, 64)
+        seq = [0, 0]
+        for kind, _ in ops:
+            if kind != 0:
+                continue
+            for lane, r in ((0, rob), (1, roomy)):
+                if r.can_dispatch(lane, 0):
+                    r.dispatch(lane, 0, seq[lane])
+                    seq[lane] += 1
+        assert sum(roomy.occupancy[1]) >= sum(rob.occupancy[0])
+        tensor = roomy.occupancy_tensor()
+        assert tensor.shape == (2, 1)
+        assert tensor[1, 0] == sum(roomy.occupancy[1])
+
+
+# One LSQ op: (is_store, line, resolved_cycle, force)
+lsq_ops = st.lists(
+    st.tuples(st.booleans(), st.integers(min_value=0, max_value=7),
+              st.integers(min_value=0, max_value=60), st.booleans()),
+    min_size=1, max_size=50,
+)
+
+#: Capacities chosen to diverge: the size-2 bank refuses (and
+#: force-overrides) while the size-64 bank admits everything.
+LSQ_CAPS = (2, 64, 4)
+
+
+class TestBatchedLSQvsOracle:
+    @given(ops=lsq_ops)
+    @settings(max_examples=80, deadline=None)
+    def test_insert_forward_violate_retire_match_oracle(self, ops):
+        lanes = len(LSQ_CAPS)
+        batched = {
+            cap: BatchedLSQ(lanes, [1] * lanes, cap) for cap in LSQ_CAPS
+        }
+        oracles = [LSQBank(capacity=cap) for cap in LSQ_CAPS]
+
+        for seq, (is_store, line, resolved, force) in enumerate(ops):
+            for lane, cap in enumerate(LSQ_CAPS):
+                lsq = batched[cap]
+                oracle = oracles[lane]
+                assert lsq.full(lane, 0) == oracle.full
+                admitted = lsq.insert(lane, 0, seq, is_store, line,
+                                      resolved, force=force)
+                entry = oracle.insert(seq, is_store, line, resolved,
+                                      force=force)
+                assert admitted == (entry is not None)
+                assert (lsq.occupancy[lane][0]
+                        == len(lsq.banks[lane][0]))
+
+        probe = len(ops)
+        for lane, cap in enumerate(LSQ_CAPS):
+            lsq = batched[cap]
+            oracle = oracles[lane]
+            for line in range(8):
+                for before in (0, 30, 10 ** 6):
+                    got = lsq.find_forwarding_store(lane, 0, probe,
+                                                    line, before)
+                    want = oracle.find_forwarding_store(probe, line,
+                                                        before)
+                    assert got == (-1 if want is None else want.seq)
+                for store_seq in (0, len(ops) // 2):
+                    got = sorted(lsq.check_store_commit(lane, 0,
+                                                        store_seq, line))
+                    want = sorted(e.seq for e in oracle.check_store_commit(
+                        store_seq, line))
+                    assert got == want
+
+    @given(ops=lsq_ops, retire=st.integers(min_value=0, max_value=49))
+    @settings(max_examples=60, deadline=None)
+    def test_retire_keeps_occupancy_tensor_exact(self, ops, retire):
+        lsq = BatchedLSQ(1, [1], 64)
+        oracle = LSQBank(capacity=64)
+        for seq, (is_store, line, resolved, _) in enumerate(ops):
+            lsq.insert(0, 0, seq, is_store, line, resolved)
+            oracle.insert(seq, is_store, line, resolved)
+        lsq.remove(0, 0, retire)
+        oracle.remove(retire)
+        # Removing an absent seq must be a no-op on the tensor too.
+        lsq.remove(0, 0, 10 ** 9)
+        oracle.remove(10 ** 9)
+        assert lsq.occupancy_tensor()[0, 0] == oracle.occupancy()
+        assert set(lsq.banks[0][0]) == {
+            e.seq for e in oracle._entries.values()
+        }
+
+    @given(ops=lsq_ops)
+    @settings(max_examples=40, deadline=None)
+    def test_forwarding_marks_divergence_per_lane(self, ops):
+        """forwarded_from recorded on one lane never leaks to another."""
+        lsq = BatchedLSQ(2, [1, 1], 64)
+        for seq, (is_store, line, resolved, _) in enumerate(ops):
+            lsq.insert(0, 0, seq, is_store, line, resolved)
+            lsq.insert(1, 0, seq, is_store, line, resolved)
+        load = len(ops)
+        for line in range(8):
+            source = lsq.find_forwarding_store(0, 0, load, line, 10 ** 6)
+            if source >= 0:
+                lsq.insert(0, 0, load, False, line, 0)
+                lsq.banks[0][0][load][3] = source
+                assert load not in lsq.banks[1][0]
+                lsq.remove(0, 0, load)

@@ -1,0 +1,102 @@
+"""Golden regression: the batched backend vs checked-in seed-run values.
+
+``fixtures/golden_batched.json`` pins the scalar seed run's simulated
+Figure 12 (Slice scaling at 128 KB) and Figure 13 (cache scaling at 4
+Slices) points for the gcc trace.  The batched backend must reproduce
+every pinned cycle count exactly and every pinned IPC at **0 ulp**
+(``==`` on the float, no tolerance): the backend's contract is
+bit-identity, so "close" is a regression.
+
+To regenerate after a *deliberate* simulator change, run the scalar
+backend over the grids named in the fixture and rewrite the JSON - never
+regenerate from the batched backend itself (that would pin the thing
+under test to itself).
+
+The cache-key tests prove the sweep engine can never serve a result
+recorded under one backend to a request for another: the
+``backend`` field reaches the content address through
+``SimConfig.fingerprint()``.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.batched import BatchedSimulator
+from repro.trace.materialize import get_workload
+
+FIXTURE = Path(__file__).parent / "fixtures" / "golden_batched.json"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(FIXTURE.read_text())
+
+
+@pytest.fixture(scope="module")
+def workload(golden):
+    return get_workload(golden["benchmark"], golden["trace_length"],
+                        golden["trace_seed"])
+
+
+class TestBatchedReproducesGolden:
+    def test_fig12_slice_scaling_exact(self, golden, workload):
+        warmup, trace = workload
+        points = golden["fig12_128kb"]
+        lanes = [(int(ns), 128.0) for ns in sorted(points, key=int)]
+        results = BatchedSimulator(trace, lanes,
+                                   warmup_addresses=[warmup]).run()
+        for (ns, _), result in zip(lanes, results):
+            want = points[str(ns)]
+            assert result.stats.cycles == want["cycles"], ns
+            # 0 ulp: the extrapolation-free IPC is cycles-derived, so
+            # equality must be exact, not approximate.
+            assert result.ipc == want["ipc"], ns
+
+    def test_fig13_cache_scaling_exact(self, golden, workload):
+        warmup, trace = workload
+        points = golden["fig13_4slices"]
+        lanes = [(4, float(kb)) for kb in sorted(points, key=int)]
+        results = BatchedSimulator(trace, lanes,
+                                   warmup_addresses=[warmup]).run()
+        for (_, kb), result in zip(lanes, results):
+            want = points[str(int(kb))]
+            assert result.stats.cycles == want["cycles"], kb
+            assert result.stats.l2_misses == want["l2_misses"], kb
+            assert result.ipc == want["ipc"], kb
+
+
+class TestEngineCacheKeysSeeBackend:
+    def _unit(self, sim_config):
+        from repro.engine.core import WorkUnit
+        from repro.perfmodel.model import profile_key
+
+        return WorkUnit(kind="simulation",
+                        profile_fields=profile_key("gcc"),
+                        cache_grid=(128.0,), slice_grid=(1, 4),
+                        calibration=(), trace_length=4000, trace_seed=1,
+                        sim_config=sim_config)
+
+    def test_backend_perturbation_changes_cache_key(self):
+        from repro.core.config import SimConfig
+
+        python_key = self._unit(SimConfig()).cache_key()
+        batched_key = self._unit(SimConfig(backend="batched")).cache_key()
+        assert python_key != batched_key
+
+    def test_default_config_aliases_none(self):
+        """``sim_config=None`` means the default SimConfig; both spell
+        the same evaluation, so they must share one cache entry."""
+        from repro.core.config import SimConfig
+
+        assert (self._unit(None).cache_key()
+                == self._unit(SimConfig()).cache_key())
+
+    def test_fingerprint_differs_only_in_backend_field(self):
+        from repro.core.config import SimConfig
+
+        base = dict(SimConfig().fingerprint())
+        batched = dict(SimConfig(backend="batched").fingerprint())
+        changed = {k for k in base if base[k] != batched.get(k)}
+        assert changed == {"backend"}
