@@ -1,23 +1,25 @@
 """Perf smoke: the streaming allocation service at datacenter scale.
 
-The ISSUE's headline claim for the event-driven redesign, asserted end
-to end: one :class:`~repro.cloud.service.AllocationService` process
-sustains **100k+ submit/resize/depart events** against a rack-sized
-fabric with periodic warm-started repricing, at a pinned throughput
-floor and per-event p99 latency ceiling.
+The incremental-arena ISSUE's headline claim, asserted end to end: one
+:class:`~repro.cloud.service.AllocationService` process sustains
+**100k+ submit/resize/depart events** against a rack-sized fabric with
+periodic warm-started repricing, at a pinned throughput floor and
+per-event p99 latency ceiling.  Timings come from the stream's own
+summary (``wall_s`` / ``latency_p50_ms`` / ``latency_p99_ms``), not a
+re-derivation in the benchmark - the smoke asserts exactly what the
+service reports to users.
 
 The thresholds are deliberately conservative (measured runs land at
-4-5x the floor on a developer container) so the smoke catches
-regressions - an accidentally quadratic roster walk, unbounded
-memoization, compaction thrashing - without flaking on slow CI
-runners.  Timing JSONs land in ``REPRO_PERF_SMOKE_DIR`` (default
-current directory) for the CI artifact upload, alongside the
+8-9x the floor on a developer container) so the smoke catches
+regressions - an accidentally quadratic roster walk, a reintroduced
+per-step ``np.stack`` rebuild, compaction thrashing - without flaking
+on slow CI runners.  Timing JSONs land in ``REPRO_PERF_SMOKE_DIR``
+(default current directory) for the CI artifact upload, alongside the
 market-perf-smoke timings.
 """
 
 import json
 import os
-import time
 
 import pytest
 
@@ -33,17 +35,13 @@ SEED = 7
 #: sparse enough that the smoke measures the event path too.
 REPRICE_EVERY = 250
 
-#: Measured ~1600 ev/s on a developer container; 300 leaves >5x noise
-#: margin without letting a quadratic slip through (that lands <50).
-MIN_EVENTS_PER_S = 300.0
-#: Measured p99 ~4 ms; compaction spikes stay far below this ceiling.
+#: Measured ~8400 ev/s after the arena + fabric fast path (was ~1600
+#: before); 900 is 3x the pre-arena floor of 300 and still leaves >9x
+#: noise margin, while a reintroduced per-step rebuild (~1600 ev/s)
+#: or a quadratic (<50) both trip it.
+MIN_EVENTS_PER_S = 900.0
+#: Measured p99 ~1 ms; compaction spikes stay far below this ceiling.
 MAX_P99_MS = 80.0
-
-
-def _percentile(sorted_values, q):
-    idx = min(len(sorted_values) - 1,
-              max(0, int(round(q * (len(sorted_values) - 1)))))
-    return sorted_values[idx]
 
 
 def _dump(name, payload):
@@ -57,16 +55,17 @@ def _dump(name, payload):
 
 def test_bench_stream_perf_smoke():
     service = build_service(backend="numpy")
-    start = time.perf_counter()
     stats, latencies, _ = drive_stream(
         service, NUM_EVENTS, seed=SEED,
         reprice_every=REPRICE_EVERY, collect_latencies=True,
     )
-    wall_s = time.perf_counter() - start
-    events_per_s = NUM_EVENTS / wall_s
-    latencies.sort()
-    p50_ms = _percentile(latencies, 0.50) * 1e3
-    p99_ms = _percentile(latencies, 0.99) * 1e3
+    # Summary-reported timings - the asserted numbers are the numbers
+    # the service itself hands to operators.
+    wall_s = stats["wall_s"]
+    events_per_s = stats["events_per_s"]
+    p50_ms = stats["latency_p50_ms"]
+    p99_ms = stats["latency_p99_ms"]
+    arena = service._arena
 
     path = _dump("stream_perf_smoke.json", {
         "num_events": NUM_EVENTS,
@@ -76,7 +75,7 @@ def test_bench_stream_perf_smoke():
         "events_per_s": events_per_s,
         "latency_p50_ms": p50_ms,
         "latency_p99_ms": p99_ms,
-        "latency_max_ms": latencies[-1] * 1e3,
+        "latency_max_ms": max(latencies) * 1e3,
         "admitted": stats["admitted"],
         "rejected_price": stats["rejected_price"],
         "rejected_capacity": stats["rejected_capacity"],
@@ -85,6 +84,9 @@ def test_bench_stream_perf_smoke():
         "reprice_rounds": stats["reprice_rounds"],
         "compactions": stats["compactions"],
         "final_fragmentation": stats["final_fragmentation"],
+        "arena_grows": arena.n_grows,
+        "arena_slot_reuse": arena.n_slot_reuse,
+        "arena_rounds_no_rebuild": arena.n_rounds_no_rebuild,
     })
     print(f"\nstream-perf-smoke: {NUM_EVENTS} events in {wall_s:.1f}s "
           f"-> {events_per_s:.0f} ev/s, p50 {p50_ms:.3f} ms, "
@@ -95,6 +97,10 @@ def test_bench_stream_perf_smoke():
     assert stats["departures"] > 0
     assert stats["resizes"] > 0
     assert stats["reprice_rounds"] > 0
+    # The arena actually ran incrementally: slots recycled, rounds
+    # served without a rebuild.
+    assert arena.n_slot_reuse > 0
+    assert arena.n_rounds_no_rebuild > 0
     # Throughput floor and latency ceiling.
     assert events_per_s >= MIN_EVENTS_PER_S, (
         f"stream throughput {events_per_s:.0f} ev/s below the "

@@ -173,22 +173,38 @@ def _cmd_datacenter_stream(args) -> int:
     floor = (args.admission_floor if args.admission_floor is not None
              else datacenter_stream.ADMISSION_FLOOR)
     strict = True if args.strict else None
-    result = datacenter_stream.run(
-        num_events=args.events,
-        seed=args.seed,
-        backend=args.backend,
-        admission_floor=floor,
-        reprice_every=args.reprice_every,
-        shards=args.shards,
-        fault_rate=args.faults,
-        chaos_seed=args.chaos_seed,
-        strict=strict,
-        readmit=args.readmit,
-        audit_every=args.audit_every,
-        checkpoint_every=args.checkpoint_every,
-        checkpoint_path=args.checkpoint_path,
-        engine=engine,
-    )
+
+    profiler = None
+    if args.profile:
+        import cProfile
+        profiler = cProfile.Profile()
+        profiler.enable()
+    try:
+        result = datacenter_stream.run(
+            num_events=args.events,
+            seed=args.seed,
+            backend=args.backend,
+            admission_floor=floor,
+            reprice_every=args.reprice_every,
+            shards=args.shards,
+            couple=args.couple,
+            sync_every=(args.sync_every if args.sync_every is not None
+                        else datacenter_stream.SYNC_EVERY),
+            fault_rate=args.faults,
+            chaos_seed=args.chaos_seed,
+            strict=strict,
+            readmit=args.readmit,
+            audit_every=args.audit_every,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_path=args.checkpoint_path,
+            engine=engine,
+        )
+    finally:
+        if profiler is not None:
+            profiler.disable()
+            profiler.dump_stats(args.profile)
+            print(f"wrote {args.profile} "
+                  f"(open with `python -m pstats {args.profile}`)")
     datacenter_stream.render(result)
     if args.json:
         with open(args.json, "w", encoding="utf-8") as fh:
@@ -306,8 +322,19 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--shards", type=int, default=1,
                         help="fan independent stream shards across "
                              "engine workers")
+    stream.add_argument("--couple", type=int, default=1, metavar="N",
+                        help="split each stream across N coupled "
+                             "shards trading against one global price "
+                             "vector (periodic averaging)")
+    stream.add_argument("--sync-every", type=int, default=None,
+                        metavar="N",
+                        help="per-shard events between global price "
+                             "syncs when coupling (default 500)")
     stream.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes when sharding")
+    stream.add_argument("--profile", metavar="PATH", default=None,
+                        help="wrap the run in cProfile and dump pstats "
+                             "to PATH")
     stream.add_argument("--json", metavar="PATH", default=None,
                         help="write the result as JSON")
     stream.add_argument("--faults", type=float, default=0.0,

@@ -10,10 +10,12 @@ positions as sorted maximal intervals (in slice-column index space, so
 interleaved bank columns neither break nor count toward a run), and a
 segment tree over per-row maximum run lengths answers "lowest row with a
 free run of ``count``" in O(log height).  Free banks are found by
-walking Manhattan-distance rings outward from the anchor instead of
-sorting every free bank on the chip.  Both paths return bit-identical
-placements to the original linear scans: first-fit lowest row, leftmost
-run; nearest banks with ties broken by ascending node id.
+walking a lazily-built per-anchor visit order - every bank sorted once
+by ``(manhattan_distance, node_id)`` - and filtering occupied tiles,
+which is exactly the order a Manhattan-ring expansion (or a full-chip
+stable sort) emits.  Both paths return bit-identical placements to the
+original linear scans: first-fit lowest row, leftmost run; nearest
+banks with ties broken by ascending node id.
 """
 
 from __future__ import annotations
@@ -61,9 +63,16 @@ class _RowRuns:
             self.ends = []
 
     def max_run(self) -> int:
-        if not self.starts:
+        starts = self.starts
+        if not starts:
             return 0
-        return max(e - s for s, e in zip(self.starts, self.ends))
+        ends = self.ends
+        best = 0
+        for i in range(len(starts)):
+            length = ends[i] - starts[i]
+            if length > best:
+                best = length
+        return best
 
     def first_run(self, count: int) -> Optional[int]:
         """Start position of the leftmost free run of >= ``count``."""
@@ -192,6 +201,14 @@ class Fabric:
             TileKind.SLICE: len(self._slice_cols) * height,
             TileKind.BANK: len(bank_cols & set(range(width))) * height,
         }
+        #: All bank node ids, ascending.
+        self._bank_nodes: List[int] = [
+            n for n, k in self._kind.items() if k is TileKind.BANK
+        ]
+        #: anchor -> every bank sorted by (manhattan distance, node id).
+        #: Occupancy-independent, so never invalidated; built lazily on
+        #: first placement from each anchor.
+        self._bank_order_cache: Dict[int, List[int]] = {}
 
     # ------------------------------------------------------------------
     # queries
@@ -268,75 +285,90 @@ class Fabric:
             return None
         start = self._rows[y].first_run(count)
         assert start is not None
-        return [
-            self.mesh.node_at(self._slice_cols[p], y)
-            for p in range(start, start + count)
-        ]
+        base = y * self.mesh.width
+        cols = self._slice_cols
+        return [base + cols[p] for p in range(start, start + count)]
+
+    def _bank_order(self, anchor: int) -> List[int]:
+        """Every bank, sorted by ``(manhattan distance, node id)``.
+
+        Expanding Manhattan rings and taking node ids ascending within
+        each ring emits banks in exactly this order, so walking it and
+        skipping occupied tiles reproduces the ring expansion (and the
+        original full-chip stable sort) bit-for-bit.  The order depends
+        only on geometry, never on occupancy, so one sort per anchor is
+        amortized over every placement anchored there.
+        """
+        order = self._bank_order_cache.get(anchor)
+        if order is None:
+            width = self.mesh.width
+            ay, ax = divmod(anchor, width)
+            order = sorted(
+                self._bank_nodes,
+                key=lambda n: (
+                    abs(n % width - ax) + abs(n // width - ay), n
+                ),
+            )
+            self._bank_order_cache[anchor] = order
+        return order
 
     def find_nearest_banks(self, anchor: int, count: int) -> List[int]:
         """The ``count`` free bank tiles nearest to ``anchor``.
 
-        Manhattan-distance rings expand outward from the anchor; within
-        a ring, ties break by ascending node id (the stable-sort order
-        of the original full-chip scan).
+        Ties at equal Manhattan distance break by ascending node id
+        (the stable-sort order of the original full-chip scan).
         """
+        if count <= 0:
+            return []
         if self._free_counts[TileKind.BANK] < count:
             raise AllocationError(
                 f"need {count} banks, only "
                 f"{self._free_counts[TileKind.BANK]} free"
             )
-        ax, ay = self.mesh.coords(anchor)
-        mesh = self.mesh
+        owner = self._owner
         chosen: List[int] = []
-        max_radius = (max(ax, mesh.width - 1 - ax)
-                      + max(ay, mesh.height - 1 - ay))
-        for radius in range(max_radius + 1):
-            ring: List[int] = []
-            for dy in range(-radius, radius + 1):
-                y = ay + dy
-                if not 0 <= y < mesh.height:
-                    continue
-                dx = radius - abs(dy)
-                for x in {ax - dx, ax + dx}:
-                    if not 0 <= x < mesh.width:
-                        continue
-                    node = mesh.node_at(x, y)
-                    if (self._kind[node] is TileKind.BANK
-                            and node not in self._owner):
-                        ring.append(node)
-            ring.sort()
-            chosen.extend(ring)
-            if len(chosen) >= count:
-                return chosen[:count]
+        append = chosen.append
+        for node in self._bank_order(anchor):
+            if node not in owner:
+                append(node)
+                if len(chosen) == count:
+                    return chosen
         raise AllocationError(  # pragma: no cover - guarded by the count
             f"need {count} banks, ran out of fabric"
         )
 
     def claim(self, nodes: Sequence[int], owner: str) -> None:
+        owner_map = self._owner
         for node in nodes:
-            if not self.is_free(node):
+            if node in owner_map:
                 raise AllocationError(f"tile {node} already owned")
+        claimed = self._owner_nodes.setdefault(owner, [])
+        kinds = self._kind
+        counts = self._free_counts
         for node in nodes:
-            self._owner[node] = owner
-            self._owner_nodes.setdefault(owner, []).append(node)
-            kind = self._kind[node]
-            self._free_counts[kind] -= 1
+            owner_map[node] = owner
+            claimed.append(node)
+            kind = kinds[node]
+            counts[kind] -= 1
             if kind is TileKind.SLICE:
                 self._slice_freed(node, free=False)
 
     def release(self, owner: str) -> List[int]:
         """Free every tile owned by ``owner``; returns the freed nodes."""
         freed = self._owner_nodes.pop(owner, [])
+        owner_map = self._owner
+        kinds = self._kind
+        counts = self._free_counts
         for node in freed:
-            del self._owner[node]
-            kind = self._kind[node]
-            self._free_counts[kind] += 1
+            del owner_map[node]
+            kind = kinds[node]
+            counts[kind] += 1
             if kind is TileKind.SLICE:
                 self._slice_freed(node, free=True)
         return freed
 
     def _slice_freed(self, node: int, free: bool) -> None:
-        x, y = self.mesh.coords(node)
+        y, x = divmod(node, self.mesh.width)
         row = self._rows[y]
         pos = self._col_index[x]
         if free:

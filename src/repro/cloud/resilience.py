@@ -272,9 +272,10 @@ def verify_invariants(service: AllocationService) -> None:
     violation found.
 
     Checks, in order: positive finite prices; roster/name-index
-    agreement; stacked-tensor coherence (row count and budgets match
-    the roster); fabric tile conservation (free counts + owned counts
-    cover every tile exactly once); and per-tenant placement shape
+    agreement; tensor-arena coherence (active view in roster order,
+    budgets matching the roster, slot index and free list consistent);
+    fabric tile conservation (free counts + owned counts cover every
+    tile exactly once); and per-tenant placement shape
     (``vcores * slices`` slice tiles, ``vcores * banks_per`` bank
     tiles, no foreign owners).
     """
@@ -298,18 +299,31 @@ def verify_invariants(service: AllocationService) -> None:
             problems.append(f"by-name key {name!r} holds tenant "
                             f"{state.request.name!r}")
 
-    stack = service._stack
-    if stack is not None:
-        rows = stack["perf_k"].shape[0]
-        if rows != len(service._roster):
-            problems.append(f"tensor stack has {rows} rows for "
-                            f"{len(service._roster)} tenants")
+    arena = service._arena
+    if arena is not None:
+        if arena.n_active != len(service._roster):
+            problems.append(
+                f"tensor arena has {arena.n_active} active rows for "
+                f"{len(service._roster)} tenants")
+        elif arena.order != roster_names:
+            problems.append("arena active view not in roster order")
         else:
-            budgets = [float(b) for b in stack["budgets"][:, 0]]
+            budgets = [float(b)
+                       for b in arena.view_budgets[:arena.n_active, 0]]
             expect = [t.request.budget for t in service._roster]
             if budgets != expect:
-                problems.append("tensor-stack budgets diverge from "
-                                "roster budgets")
+                problems.append("arena budgets diverge from roster "
+                                "budgets")
+        if set(arena.slot_of) != set(roster_names):
+            problems.append("arena slot index disagrees with roster")
+        used = set(arena.slot_of.values())
+        if len(used) != len(arena.slot_of):
+            problems.append("two tenants share one arena slot")
+        free = set(arena.free_slots)
+        if free & used:
+            problems.append("arena free list overlaps used slots")
+        if any(s >= arena.capacity for s in used | free):
+            problems.append("arena slot beyond capacity")
 
     fabric = service.fabric
     if fabric is not None:

@@ -34,12 +34,14 @@ equivalence suites pin the service-backed results unchanged.
 from __future__ import annotations
 
 import math
+import time
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import (
     Any, Callable, Deque, Dict, Iterable, List, Optional, Tuple,
 )
 
+from repro.cloud.arena import TensorArena
 from repro.cloud.errors import (
     DuplicateTenantError,
     EventValidationError,
@@ -101,6 +103,9 @@ class StepResult:
     #: back to the last-known-good price vector (graceful degradation;
     #: requires ``degrade_on_divergence``).
     degraded: bool = False
+    #: Wall-clock seconds this repricing step took.  Excluded from
+    #: equality: timing is observational, never semantic.
+    elapsed_s: float = field(default=0.0, compare=False)
 
 
 @dataclass(frozen=True)
@@ -151,6 +156,24 @@ class StreamSummary:
     degraded_steps: int = 0
     readmitted: int = 0
     retry_pending: int = 0
+    #: Wall-clock seconds the driving loop spent (0.0 outside
+    #: :meth:`AllocationService.run`).  Timing fields are excluded
+    #: from equality: faulty==clean and crash/resume equivalence
+    #: compare semantic outcomes, not wall clocks.
+    wall_s: float = field(default=0.0, compare=False)
+    #: Per-event latency percentiles over the driven stream, in
+    #: milliseconds (0.0 outside :meth:`AllocationService.run`).
+    latency_p50_ms: float = field(default=0.0, compare=False)
+    latency_p99_ms: float = field(default=0.0, compare=False)
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile over pre-sorted values (0.0 if empty)."""
+    if not sorted_values:
+        return 0.0
+    idx = min(len(sorted_values) - 1,
+              max(0, int(round(q * (len(sorted_values) - 1)))))
+    return sorted_values[idx]
 
 
 class _TenantState:
@@ -174,9 +197,9 @@ class AllocationService:
     """A long-lived market over one fabric: the provider's control loop.
 
     The service holds the state the batch entry points recompute from
-    scratch - stacked per-tenant utility tensors, memoized performance
-    rows, the current price vector, and the fabric occupancy - and
-    updates it incrementally per event.  Economics-only operation
+    scratch - an incremental tensor arena of per-tenant utility rows,
+    memoized performance rows, the current price vector, and the
+    fabric occupancy - and updates it incrementally per event.  Economics-only operation
     (``fabric=None`` with explicit supplies) backs the batch auction
     wrapper; fabric-backed operation adds physical placement and
     capacity-based rejection.
@@ -249,13 +272,12 @@ class AllocationService:
         #: bit for bit.
         self._roster: List[_TenantState] = []
         self._by_name: Dict[str, _TenantState] = {}
-        self._stack: Optional[dict] = None  # stacked round tensors
         #: Bumped whenever prices move; invalidates the admission cost
         #: row so memoization cannot grow with the event count.
         self._price_epoch = 0
         self._flat_cost_epoch = -1
         self._flat_cost = None
-        self._perf_k_cache: Dict[Tuple[object, float], object] = {}
+        self._grid_rows: Optional[Tuple[Any, Any]] = None
         self._spot_market: Optional[Market] = None
 
         # --- self-healing state -----------------------------------
@@ -298,6 +320,14 @@ class AllocationService:
         self._t_resize = scope.timer("resize_s")
         self._t_step = scope.timer("step_s")
         scope.gauge("active_tenants", lambda: len(self._roster))
+        #: Incremental tensor arena (numpy backend only): preallocated
+        #: per-tenant round tensors with a contiguous active view, so
+        #: no event ever triggers a stack rebuild.
+        self._arena: Optional[TensorArena] = None
+        if self.backend == "numpy":
+            self._arena = TensorArena(
+                len(self.cache_grid) * len(self.slice_grid),
+                scope=scope)
         # Mirrored plain tallies for stream summaries (obs may be off).
         self._n_admitted = 0
         self._n_rejected_price = 0
@@ -409,8 +439,10 @@ class AllocationService:
             if state is None:
                 raise UnknownTenantError(
                     f"unknown tenant {tenant_id!r}", tenant=tenant_id)
-            self._roster.remove(state)
-            self._stack = None
+            index = self._roster.index(state)
+            del self._roster[index]
+            if self._arena is not None:
+                self._arena.depart(tenant_id, index)
             self._c_departures.inc()
             self._n_departures += 1
             if self.fabric is not None:
@@ -464,8 +496,10 @@ class AllocationService:
                 utility=state.request.utility, budget=budget,
             )
             state.vcores = vcores
-            if budget != old_budget:
-                self._stack = None
+            if budget != old_budget and self._arena is not None:
+                self._arena.set_budget(tenant_id,
+                                       self._roster.index(state),
+                                       budget)
             self._c_resizes.inc()
             self._n_resizes += 1
             return AdmissionResult(
@@ -485,24 +519,27 @@ class AllocationService:
         pre-submit prices.
         """
         with self._t_step:
+            t0 = time.perf_counter()
             if self.force_nonconverge > 0:
                 # Fault-injected tatonnement failure: behave exactly
                 # like a diverged step that degraded gracefully.
                 self.force_nonconverge -= 1
-                return self._degraded_step(rounds=0)
+                return self._degraded_step(rounds=0, t0=t0)
             if not self._roster:
                 return StepResult(rounds=0, converged=True,
                                   rationed=False,
                                   slice_price=self.slice_price,
-                                  bank_price=self.bank_price)
+                                  bank_price=self.bank_price,
+                                  elapsed_s=time.perf_counter() - t0)
             out = self._tatonnement(self.slice_price, self.bank_price,
-                                    min_rounds=1)
+                                    min_rounds=1,
+                                    want_allocations=False)
             if not out["converged"] and self.degrade_on_divergence:
                 # Graceful degradation: the diverged prices are never
                 # committed - the market keeps serving at the
                 # last-known-good vector (= the current one, since
                 # ``_tatonnement`` works on locals until committed).
-                return self._degraded_step(rounds=out["rounds"])
+                return self._degraded_step(rounds=out["rounds"], t0=t0)
             self._set_prices(out["slice_price"], out["bank_price"])
             self._c_reprice_rounds.inc(out["rounds"])
             self._n_reprice_rounds += out["rounds"]
@@ -510,19 +547,22 @@ class AllocationService:
                               converged=out["converged"],
                               rationed=out["rationed"],
                               slice_price=self.slice_price,
-                              bank_price=self.bank_price)
+                              bank_price=self.bank_price,
+                              elapsed_s=time.perf_counter() - t0)
 
-    def _degraded_step(self, rounds: int) -> StepResult:
+    def _degraded_step(self, rounds: int,
+                       t0: Optional[float] = None) -> StepResult:
         """A repricing step that failed: keep last-known-good prices."""
         self._c_degraded.inc()
         self._n_degraded_steps += 1
         self._c_reprice_rounds.inc(rounds)
         self._n_reprice_rounds += rounds
+        elapsed = time.perf_counter() - t0 if t0 is not None else 0.0
         return StepResult(rounds=rounds, converged=False,
                           rationed=False,
                           slice_price=self.slice_price,
                           bank_price=self.bank_price,
-                          degraded=True)
+                          degraded=True, elapsed_s=elapsed)
 
     def apply(self, event: Event):
         """Dispatch one :class:`Event` to the matching method."""
@@ -575,9 +615,12 @@ class AllocationService:
         snapshot)`` every N events.
         """
         count = 0
+        latencies: List[float] = []
+        t_run = time.perf_counter()
         for event in events:
             if injector is not None:
                 injector.perturb(self, count)
+            t_event = time.perf_counter()
             outcome = self.process(event, count, strict=strict)
             if readmit:
                 if event.kind == "depart" and outcome is not None:
@@ -589,14 +632,20 @@ class AllocationService:
             count += 1
             if reprice_every and count % reprice_every == 0:
                 self.step()
+            latencies.append(time.perf_counter() - t_event)
             if audit_every and count % audit_every == 0:
                 self.verify_invariants()
             if (checkpoint_every and on_checkpoint is not None
                     and count % checkpoint_every == 0):
                 on_checkpoint(count, self.snapshot())
-        return self.summary(events=count)
+        return self.summary(events=count,
+                            wall_s=time.perf_counter() - t_run,
+                            latencies=latencies)
 
-    def summary(self, events: int = 0) -> StreamSummary:
+    def summary(self, events: int = 0, *, wall_s: float = 0.0,
+                latencies: Optional[List[float]] = None
+                ) -> StreamSummary:
+        ordered = sorted(latencies) if latencies else []
         return StreamSummary(
             events=events,
             admitted=self._n_admitted,
@@ -614,6 +663,9 @@ class AllocationService:
             degraded_steps=self._n_degraded_steps,
             readmitted=self._n_readmitted,
             retry_pending=len(self._retry_queue),
+            wall_s=wall_s,
+            latency_p50_ms=_percentile(ordered, 0.50) * 1e3,
+            latency_p99_ms=_percentile(ordered, 0.99) * 1e3,
         )
 
     # ------------------------------------------------------------------
@@ -751,9 +803,18 @@ class AllocationService:
         cost rows, memoized perf rows), which are rebuilt on demand.
         ``json.dumps`` of the snapshot round-trips bit-exactly: Python
         serializes floats via ``repr`` (shortest round-trip form).
+
+        Version 2 adds the arena slot layout (capacity, free list,
+        slot map); the rows themselves are recomputed from the
+        memoized kernel on restore - they are pure functions of each
+        tenant's profile and utility exponent.  :meth:`restore`
+        accepts version-1 snapshots (fresh arena layout in roster
+        order; round results are layout-independent).
         """
         return {
-            "version": 1,
+            "version": 2,
+            "arena": (self._arena.layout()
+                      if self._arena is not None else None),
             "config": {
                 "backend": self.backend,
                 "slice_supply": self.slice_supply,
@@ -838,7 +899,8 @@ class AllocationService:
                     f"service's {key}={ours!r}")
         self._roster = []
         self._by_name = {}
-        self._stack = None
+        if self._arena is not None:
+            self._arena.clear()
         for row in state["roster"]:
             util = row["utility"]
             request = TenantRequest(
@@ -850,6 +912,9 @@ class AllocationService:
             )
             self._register(request, cache_kb=row["cache_kb"],
                            slices=row["slices"], vcores=row["vcores"])
+        arena_layout = state.get("arena")
+        if self._arena is not None and arena_layout is not None:
+            self._arena.adopt_layout(arena_layout)
         self.slice_price = state["prices"]["slice"]
         self.bank_price = state["prices"]["bank"]
         self._price_epoch = state["price_epoch"]
@@ -933,14 +998,9 @@ class AllocationService:
         return choice.cache_kb, choice.slices, choice.utility
 
     def _perf_k(self, benchmark, k: float):
-        """Flat ``P(c, s)^k`` row, memoized per (profile, exponent)."""
-        prof = _resolve(benchmark)
-        key = (prof, k)
-        row = self._perf_k_cache.get(key)
-        if row is None:
-            row = (self.kernel.perf_row(prof) ** k).ravel()
-            self._perf_k_cache[key] = row
-        return row
+        """Flat ``P(c, s)^k`` row, memoized in the kernel per
+        (profile, exponent) - the rows the arena copies in-place."""
+        return self.kernel.perf_pow_row(benchmark, k)
 
     def _flat_cost_row(self):
         """Flat per-VCore cost over the grid at the current prices."""
@@ -973,38 +1033,37 @@ class AllocationService:
             state.inv_k = 1.0 / k
         self._roster.append(state)
         self._by_name[tenant.name] = state
-        self._stack = None
+        if self._arena is not None:
+            self._arena.submit(tenant.name, state.perf_k_flat,
+                               state.inv_k, tenant.budget)
 
     # ------------------------------------------------------------------
     # internals: tatonnement (shared with the batch auction)
     # ------------------------------------------------------------------
 
     def _numpy_state(self) -> dict:
-        """Stacked round tensors over the roster, in arrival order.
+        """Round tensors over the roster, in arrival order.
 
-        Values are bit-identical to ``SpotMarket._prepare_numpy``:
-        ``perf ** k`` is an elementwise ufunc, so stacking
-        per-tenant ``P^k`` rows equals exponentiating the stacked
-        tensor, and every later reduction runs in the same array
-        order.
+        Served from the incremental arena's contiguous active view -
+        zero stacking, zero copies.  Values are bit-identical to
+        ``SpotMarket._prepare_numpy``: every view row is a float64
+        copy of the memoized ``P^k`` row ``np.stack`` would have
+        copied, in the same (arrival) order, and a row-prefix of a
+        C-contiguous array is itself contiguous, so every later
+        reduction runs over identical bytes in identical order.
         """
-        if self._stack is None:
+        if self._grid_rows is None:
             import numpy as np
 
             cache = np.asarray(self.cache_grid, dtype=float)
             slices = np.asarray(self.slice_grid, dtype=float)
-            self._stack = {
-                "perf_k": np.stack([t.perf_k_flat
-                                    for t in self._roster]),
-                "inv_k": np.array([t.inv_k
-                                   for t in self._roster])[:, None],
-                "budgets": np.array([t.request.budget
-                                     for t in self._roster])[:, None],
-                "slices_row": slices[None, :],
-                "banks_row": (cache / BANK_KB)[:, None],
-                "n_slices": len(self.slice_grid),
-            }
-        return self._stack
+            self._grid_rows = (slices[None, :],
+                               (cache / BANK_KB)[:, None])
+        state = self._arena.active_view()
+        state["slices_row"] = self._grid_rows[0]
+        state["banks_row"] = self._grid_rows[1]
+        state["n_slices"] = len(self.slice_grid)
+        return state
 
     def _round_numpy(self, state: dict, slice_price: float,
                      bank_price: float):
@@ -1071,7 +1130,8 @@ class AllocationService:
         ]
 
     def _tatonnement(self, slice_price: float, bank_price: float,
-                     min_rounds: int) -> dict:
+                     min_rounds: int,
+                     want_allocations: bool = True) -> dict:
         """Damped price adjustment until excess demand is tolerable.
 
         ``min_rounds=2`` reproduces the batch auction's cold-start
@@ -1129,8 +1189,12 @@ class AllocationService:
                 floor, slice_price * math.exp(k * _clamp(slice_excess)))
             bank_price = max(
                 floor, bank_price * math.exp(k * _clamp(bank_excess)))
-        if vectorized and choices is not None:
-            allocations = self._allocations_from(choices)
+        if vectorized:
+            self._arena.note_rounds(rounds)
+            if choices is not None and want_allocations:
+                # Warm steps discard allocations (StepResult carries
+                # only prices), so they skip this construction.
+                allocations = self._allocations_from(choices)
         return {
             "slice_price": slice_price,
             "bank_price": bank_price,
@@ -1193,5 +1257,9 @@ class AllocationService:
                     if nodes:
                         self.fabric.claim(nodes, name)
                 return
+        if self._arena is not None:
+            # Piggyback arena slot re-packing on the same
+            # fragmentation-driven cadence - never on the hot path.
+            self._arena.compact()
         self._c_compactions.inc()
         self._n_compactions += 1

@@ -260,6 +260,7 @@ class MarketKernel:
         self.slice_grid = tuple(int(s) for s in slice_grid)
         self.market = market
         self._perf_rows: Dict[object, "np.ndarray"] = {}
+        self._pow_rows: Dict[Tuple[object, float], "np.ndarray"] = {}
         self._cost: Dict[Tuple[str, float, float, float], "np.ndarray"] = {}
         self._views: Dict[Tuple[str, float, float, float],
                           "MarketKernel"] = {}
@@ -348,6 +349,26 @@ class MarketKernel:
             return row
         self.prime([prof])
         return self._perf_rows[prof]
+
+    def perf_pow_row(self, profile: ProfileLike,
+                     k: float) -> "np.ndarray":
+        """Flat ``P(c, s)^k``, shape ``(cache * slice,)``, memoized per
+        ``(profile, exponent)``.
+
+        This is the row the streaming service's tensor arena copies
+        in-place on every admission: building it here (rather than in
+        each service) shares the exponentiation across coupled shards
+        that trade over one kernel, and guarantees a restored arena
+        reproduces its rows bit-exactly - the row is a pure function of
+        the profile and the utility exponent.
+        """
+        prof = _resolve(profile)
+        key = (prof, k)
+        row = self._pow_rows.get(key)
+        if row is None:
+            row = (self.perf_row(prof) ** k).ravel()
+            self._pow_rows[key] = row
+        return row
 
     # -- market matrices -------------------------------------------------
 

@@ -228,7 +228,12 @@ class SweepSpec:
     #: Streaming-service parameters; when set the spec expands into
     #: ``shards`` independent ``kind="service"`` units (benchmarks and
     #: grids are ignored).  Values must be primitives - they become the
-    #: unit's frozen, cache-keyed ``service`` tuple.
+    #: unit's frozen, cache-keyed ``service`` tuple.  A ``couple > 1``
+    #: entry makes each unit run a whole coupled shard group (N
+    #: services sharing a global price vector) in-process; the stream
+    #: stats schema is stamped by ``STATS_VERSION`` in
+    #: ``repro.experiments.datacenter_stream``, so schema changes
+    #: invalidate cached unit results instead of misreading them.
     service: Optional[Dict[str, Any]] = None
     shards: int = 1
 

@@ -33,6 +33,7 @@ from repro.cloud.resilience import (
     rng_state_to_json,
 )
 from repro.cloud.service import AllocationService, Event, TenantRequest
+from repro.cloud.shards import CoupledShards
 from repro.economics.backend import resolve_backend
 from repro.economics.utility import STANDARD_UTILITIES
 from repro.experiments.base import ExperimentResult
@@ -64,11 +65,18 @@ STREAM_METRICS = (
     "active_tenants", "events_per_s", "final_fragmentation",
     "slice_price", "bank_price",
     "dead_letters", "degraded_steps", "readmitted",
+    "wall_s", "latency_p50_ms", "latency_p99_ms", "price_syncs",
 )
 
 #: Stamped into every ``kind="service"`` unit's params (and therefore
 #: its cache key) - bumped whenever the row layout above changes.
-STATS_VERSION = 2
+#: 3: wall_s + latency percentiles + price_syncs columns (coupled
+#: sharding).
+STATS_VERSION = 3
+
+#: Default per-shard event interval between global price syncs in a
+#: coupled group.
+SYNC_EVERY = 500
 
 
 @dataclass(frozen=True)
@@ -247,6 +255,10 @@ def drive_stream(service: AllocationService, num_events: int, seed: int,
         "degraded_steps": float(after.degraded_steps
                                 - before.degraded_steps),
         "readmitted": float(after.readmitted - before.readmitted),
+        "wall_s": elapsed,
+        "latency_p50_ms": _percentile(sorted(latencies), 0.50) * 1e3,
+        "latency_p99_ms": _percentile(sorted(latencies), 0.99) * 1e3,
+        "price_syncs": 0.0,
     }
     return stats, latencies, serial
 
@@ -301,17 +313,216 @@ def resume_stream(service: AllocationService,
         rng=rng, first_index=stream["events_done"], **drive_kwargs)
 
 
+def build_coupled_group(couple: int,
+                        sync_every: int = SYNC_EVERY,
+                        backend: Optional[str] = None,
+                        admission_floor: float = ADMISSION_FLOOR,
+                        obs=None, **service_kwargs) -> CoupledShards:
+    """``couple`` rack-backed shard services coupled through one
+    global price vector.
+
+    On the numpy backend all shards share one
+    :class:`~repro.economics.tensor.MarketKernel`, so memoized
+    ``P^k`` rows (the arena's row source) are built once per group.
+    """
+    if couple < 1:
+        raise ValueError("couple must be >= 1")
+    backend_name = resolve_backend(backend)
+    services: List[AllocationService] = []
+    kernel = None
+    for _ in range(couple):
+        service = build_service(backend=backend_name,
+                                admission_floor=admission_floor,
+                                obs=obs, kernel=kernel,
+                                **service_kwargs)
+        kernel = kernel or service.kernel
+        services.append(service)
+    return CoupledShards(services, sync_every=sync_every, obs=obs)
+
+
+def drive_coupled_stream(group: CoupledShards, num_events: int,
+                         seed: int,
+                         active_target: int = ACTIVE_TARGET,
+                         resize_fraction: float = RESIZE_FRACTION,
+                         reprice_every: int = 1,
+                         collect_latencies: bool = False,
+                         *,
+                         strict: bool = True,
+                         readmit: bool = False,
+                         audit_every: int = 0,
+                         checkpoint_every: int = 0,
+                         on_checkpoint: Optional[
+                             Callable[[int, Dict[str, Any]], None]] = None,
+                         resume: Optional[Dict[str, Any]] = None
+                         ) -> Tuple[Dict[str, float], List[float]]:
+    """Drive ``num_events`` total events through a coupled shard group.
+
+    The total splits evenly across shards (earlier shards absorb any
+    remainder); shard ``j``'s event stream is seeded
+    ``seed * 1000 + j`` so per-shard populations decorrelate.  Shards
+    advance in fixed round-robin order, ``group.sync_every`` events
+    per shard per round, with a global price averaging/broadcast after
+    every round - fully deterministic, so a coupled run is exactly
+    reproducible and resumable (``resume`` takes the ``"stream"``
+    section of a coupled checkpoint; the caller restores the group
+    itself first, see :func:`resume_coupled_stream`).
+
+    Returns ``(stats, pooled_latencies)`` with the same keys as
+    :func:`drive_stream` plus ``price_syncs``.
+    """
+    n = len(group.services)
+    quota = [num_events // n + (1 if j < num_events % n else 0)
+             for j in range(n)]
+    if resume is None:
+        rngs = [random.Random(seed * 1000 + j) for j in range(n)]
+        actives: List[List[str]] = [[] for _ in range(n)]
+        serials = [0] * n
+        done = [0] * n
+    else:
+        rngs = []
+        for state_json in resume["rng_states"]:
+            rng = random.Random()
+            rng.setstate(rng_state_from_json(state_json))
+            rngs.append(rng)
+        actives = [list(a) for a in resume["actives"]]
+        serials = [int(s) for s in resume["serials"]]
+        done = [int(d) for d in resume["done"]]
+    totals: Optional[Dict[str, float]] = None
+    latencies: List[float] = []
+    wall = 0.0
+    syncs_before = group.n_syncs
+    next_cp = 0
+    if checkpoint_every:
+        next_cp = (sum(done) // checkpoint_every + 1) * checkpoint_every
+    while any(done[j] < quota[j] for j in range(n)):
+        for j, service in enumerate(group.services):
+            end = min(quota[j], done[j] + group.sync_every)
+            if end <= done[j]:
+                continue
+            stats, lats, serials[j] = drive_stream(
+                service, end, seed * 1000 + j,
+                active_target=active_target,
+                resize_fraction=resize_fraction,
+                reprice_every=reprice_every,
+                collect_latencies=collect_latencies,
+                serial0=serials[j], active=actives[j],
+                strict=strict, readmit=readmit,
+                audit_every=audit_every,
+                rng=rngs[j], first_index=done[j],
+            )
+            done[j] = end
+            wall += stats["wall_s"]
+            latencies.extend(lats)
+            if totals is None:
+                totals = {key: 0.0 for key in stats}
+            for key in ("events", "admitted", "rejected_price",
+                        "rejected_capacity", "departures", "resizes",
+                        "reprice_rounds", "compactions",
+                        "dead_letters", "degraded_steps",
+                        "readmitted"):
+                totals[key] += stats[key]
+        group.sync()
+        total_done = sum(done)
+        if (checkpoint_every and on_checkpoint is not None
+                and total_done >= next_cp
+                and total_done < num_events):
+            on_checkpoint(total_done, make_coupled_checkpoint(
+                group, rngs, actives, serials, done, seed))
+            next_cp = ((total_done // checkpoint_every + 1)
+                       * checkpoint_every)
+    assert totals is not None, "coupled stream drove zero events"
+    slice_price, bank_price = group.prices()
+    totals["active_tenants"] = float(sum(
+        svc.summary().active_tenants for svc in group.services))
+    totals["final_fragmentation"] = (
+        sum(svc.fragmentation() for svc in group.services) / n)
+    totals["slice_price"] = slice_price
+    totals["bank_price"] = bank_price
+    totals["wall_s"] = wall
+    totals["events_per_s"] = (totals["events"] / wall if wall > 0
+                              else float("inf"))
+    ordered = sorted(latencies)
+    totals["latency_p50_ms"] = _percentile(ordered, 0.50) * 1e3
+    totals["latency_p99_ms"] = _percentile(ordered, 0.99) * 1e3
+    totals["price_syncs"] = float(group.n_syncs - syncs_before)
+    return totals, latencies
+
+
+def make_coupled_checkpoint(group: CoupledShards,
+                            rngs: List[random.Random],
+                            actives: List[List[str]],
+                            serials: List[int], done: List[int],
+                            seed: int) -> Dict[str, Any]:
+    """A resumable coupled-stream checkpoint: the group snapshot
+    (every shard's service state + sync counter) plus the driver's
+    per-shard RNGs, active views, serials, and progress."""
+    return {
+        "group": group.snapshot(),
+        "stream": {
+            "rng_states": [rng_state_to_json(r.getstate())
+                           for r in rngs],
+            "actives": [list(a) for a in actives],
+            "serials": list(serials),
+            "done": list(done),
+            "seed": seed,
+        },
+    }
+
+
+def resume_coupled_stream(group: CoupledShards,
+                          checkpoint: Dict[str, Any], num_events: int,
+                          **drive_kwargs
+                          ) -> Tuple[Dict[str, float], List[float]]:
+    """Resume a killed coupled run, bit-equal to never dying.
+
+    ``group`` must be a freshly built group of the same shape
+    (:func:`build_coupled_group` with the same knobs); its state is
+    replaced by the checkpoint's and every shard stream continues at
+    its next event index.  Stats cover the resumed segment only.
+    """
+    group.restore(checkpoint["group"])
+    return drive_coupled_stream(
+        group, num_events, seed=checkpoint["stream"]["seed"],
+        resume=checkpoint["stream"], **drive_kwargs)
+
+
 def evaluate_shard(params: Dict[str, object]) -> List[List[float]]:
-    """One engine work unit: an independent stream shard.
+    """One engine work unit: an independent stream shard, or - with
+    ``couple > 1`` - a whole coupled shard group run in-process.
 
     ``params`` comes from the unit's frozen ``service`` field; rows are
     ``[[metric_index, 0, value], ...]`` in :data:`STREAM_METRICS`
     order, which is what :class:`~repro.engine.core.SweepResult`
-    re-keys into a grid.
+    re-keys into a grid.  Coupled units decorrelate their inner shard
+    streams from the unit seed (``seed * 1000 + j``), so engine-level
+    shards (``seed0 + shard``) stay distinct from group-level ones.
     """
     fault_rate = float(params.get("fault_rate", 0.0))
     strict = bool(params.get("strict", fault_rate == 0.0))
     num_events = int(params["num_events"])
+    couple = int(params.get("couple", 1))
+    if couple > 1:
+        group = build_coupled_group(
+            couple,
+            sync_every=int(params.get("sync_every", SYNC_EVERY)),
+            backend=str(params.get("backend", "numpy")),
+            admission_floor=float(params.get("admission_floor",
+                                             ADMISSION_FLOOR)),
+            degrade_on_divergence=not strict,
+        )
+        stats, _ = drive_coupled_stream(
+            group, num_events, seed=int(params["seed"]),
+            active_target=int(params.get("active_target",
+                                         ACTIVE_TARGET)),
+            resize_fraction=float(params.get("resize_fraction",
+                                             RESIZE_FRACTION)),
+            reprice_every=int(params.get("reprice_every", 1)),
+            strict=strict,
+            readmit=bool(params.get("readmit", False)),
+            audit_every=int(params.get("audit_every", 0)),
+        )
+        return [[float(i), 0.0, float(stats[name])]
+                for i, name in enumerate(STREAM_METRICS)]
     injector = None
     if fault_rate > 0.0:
         injector = FaultInjector(
@@ -357,6 +568,7 @@ def run(num_events: int = 20_000, seed: int = 11,
         admission_floor: float = ADMISSION_FLOOR,
         reprice_every: int = 1, segments: int = 4,
         shards: int = 1,
+        couple: int = 1, sync_every: int = SYNC_EVERY,
         fault_rate: float = 0.0, chaos_seed: int = 0,
         strict: Optional[bool] = None, readmit: bool = False,
         audit_every: int = 0,
@@ -367,6 +579,11 @@ def run(num_events: int = 20_000, seed: int = 11,
 
     With ``shards > 1`` and an engine, independent shards fan out as
     ``kind="service"`` work units instead (one row per shard).
+    ``couple > 1`` makes each unit a *coupled group* of that many
+    shard services trading against one shared global price vector,
+    averaged/broadcast every ``sync_every`` events per shard - the
+    1M-event configuration is ``shards * couple`` services covering
+    ``num_events`` total events in one invocation.
 
     ``fault_rate > 0`` perturbs the stream with a
     :class:`~repro.cloud.resilience.FaultPlan` seeded by
@@ -389,6 +606,9 @@ def run(num_events: int = 20_000, seed: int = 11,
                   "active_target": active_target,
                   "reprice_every": reprice_every,
                   "stats_version": STATS_VERSION}
+        if couple > 1:
+            params.update({"couple": couple,
+                           "sync_every": sync_every})
         if fault_rate > 0.0:
             params.update({"fault_rate": fault_rate,
                            "chaos_seed": chaos_seed,
@@ -403,6 +623,21 @@ def run(num_events: int = 20_000, seed: int = 11,
             stats["segment"] = f"shard{shard}"
             rows.append(stats)
         latencies: List[float] = []
+    elif couple > 1:
+        group = build_coupled_group(
+            couple, sync_every=sync_every, backend=backend_name,
+            admission_floor=admission_floor, obs=obs,
+            degrade_on_divergence=not strict)
+        stats, latencies = drive_coupled_stream(
+            group, num_events, seed,
+            active_target=active_target,
+            reprice_every=reprice_every,
+            collect_latencies=True,
+            strict=strict, readmit=readmit,
+            audit_every=audit_every)
+        stats["segment"] = "coupled"
+        rows = [stats]
+        latencies = list(latencies)
     else:
         service = build_service(backend=backend_name,
                                 admission_floor=admission_floor,
@@ -455,6 +690,7 @@ def run(num_events: int = 20_000, seed: int = 11,
                   "admission_floor": admission_floor,
                   "reprice_every": reprice_every,
                   "shards": shards,
+                  "couple": couple, "sync_every": sync_every,
                   "rack": f"{RACK_WIDTH}x{RACK_HEIGHT}"}
     if fault_rate > 0.0:
         run_params.update({"fault_rate": fault_rate,
@@ -511,6 +747,9 @@ def render(result: DatacenterStreamResult) -> None:
         print(f"  resilience: {dead:.0f} dead-lettered, "
               f"{degraded:.0f} degraded steps, "
               f"{readmitted:.0f} re-admitted")
+    syncs = sum(row.get("price_syncs", 0.0) for row in result.rows)
+    if syncs:
+        print(f"  coupled: {syncs:.0f} global price syncs")
     if result.latency_p99_ms:
         print(f"  latency: p50 {result.latency_p50_ms:.3f} ms, "
               f"p99 {result.latency_p99_ms:.3f} ms")

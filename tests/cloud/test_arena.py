@@ -1,0 +1,149 @@
+"""The incremental tensor arena: slots, active view, layout."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.arena import TensorArena
+
+
+def row(seed, width=6):
+    rng = np.random.default_rng(seed)
+    return rng.random(width)
+
+
+def fresh_stack(arena, rows):
+    """What ``np.stack`` over the roster would build."""
+    names = arena.order
+    return (np.stack([rows[n][0] for n in names]),
+            np.array([[rows[n][1]] for n in names]),
+            np.array([[rows[n][2]] for n in names]))
+
+
+def assert_view_matches(arena, rows):
+    view = arena.active_view()
+    if not arena.order:
+        assert view["perf_k"].shape[0] == 0
+        return
+    perf, inv, budgets = fresh_stack(arena, rows)
+    assert np.array_equal(view["perf_k"], perf)
+    assert np.array_equal(view["inv_k"], inv)
+    assert np.array_equal(view["budgets"], budgets)
+
+
+class TestSubmitDepart:
+    def test_view_tracks_roster_order(self):
+        arena = TensorArena(6, capacity=2)
+        rows = {}
+        for i, name in enumerate("abcd"):
+            rows[name] = (row(i), 1.0 + i, 10.0 * (i + 1))
+            arena.submit(name, *rows[name])
+            assert_view_matches(arena, rows)
+        arena.depart("b", 1)
+        del rows["b"]
+        assert arena.order == ["a", "c", "d"]
+        assert_view_matches(arena, rows)
+        arena.depart("d", 2)
+        del rows["d"]
+        assert_view_matches(arena, rows)
+
+    def test_duplicate_submit_raises(self):
+        arena = TensorArena(4)
+        arena.submit("a", row(0, 4), 1.0, 1.0)
+        with pytest.raises(ValueError):
+            arena.submit("a", row(1, 4), 1.0, 1.0)
+
+    def test_depart_validates_position(self):
+        arena = TensorArena(4)
+        arena.submit("a", row(0, 4), 1.0, 1.0)
+        arena.submit("b", row(1, 4), 1.0, 1.0)
+        with pytest.raises(ValueError):
+            arena.depart("a", 1)
+        with pytest.raises(ValueError):
+            arena.depart("ghost", 0)
+
+    def test_slot_reuse_is_lifo(self):
+        arena = TensorArena(4)
+        for name in "abc":
+            arena.submit(name, row(ord(name), 4), 1.0, 1.0)
+        arena.depart("a", 0)
+        arena.depart("c", 1)
+        assert arena.free_slots == [0, 2]
+        assert arena.submit("d", row(5, 4), 1.0, 1.0) == 2
+        assert arena.submit("e", row(6, 4), 1.0, 1.0) == 0
+        assert arena.n_slot_reuse == 2
+
+    def test_grow_doubles(self):
+        arena = TensorArena(3, capacity=2)
+        for i in range(5):
+            arena.submit(f"t{i}", row(i, 3), 1.0, 1.0)
+        assert arena.capacity == 8
+        assert arena.n_grows >= 1
+        rows = {f"t{i}": (row(i, 3), 1.0, 1.0) for i in range(5)}
+        assert_view_matches(arena, rows)
+
+
+class TestResize:
+    def test_budget_write_in_place(self):
+        arena = TensorArena(4)
+        arena.submit("a", row(0, 4), 1.0, 5.0)
+        arena.submit("b", row(1, 4), 1.0, 6.0)
+        arena.set_budget("b", 1, 60.0)
+        assert arena.active_view()["budgets"][1, 0] == 60.0
+        assert arena.budgets[arena.slot_of["b"]] == 60.0
+        with pytest.raises(ValueError):
+            arena.set_budget("b", 0, 1.0)
+
+
+class TestMaintenance:
+    def make_fragmented(self):
+        arena = TensorArena(4)
+        rows = {}
+        for i, name in enumerate("abcde"):
+            rows[name] = (row(i, 4), 1.0 + i, float(i))
+            arena.submit(name, *rows[name])
+        arena.depart("b", 1)
+        arena.depart("d", 2)
+        del rows["b"], rows["d"]
+        return arena, rows
+
+    def test_compact_packs_roster_order(self):
+        arena, rows = self.make_fragmented()
+        arena.compact()
+        assert arena.free_slots == []
+        assert [arena.slot_of[n] for n in arena.order] == [0, 1, 2]
+        assert_view_matches(arena, rows)
+        # Slot storage now mirrors the view.
+        for index, name in enumerate(arena.order):
+            assert np.array_equal(arena.perf_k[index], rows[name][0])
+
+    def test_layout_round_trip(self):
+        arena, rows = self.make_fragmented()
+        layout = arena.layout()
+        twin = TensorArena(4)
+        for name in arena.order:
+            twin.submit(name, *rows[name])
+        twin.adopt_layout(layout)
+        assert twin.slot_of == arena.slot_of
+        assert twin.free_slots == arena.free_slots
+        assert twin._next_slot == arena._next_slot
+        assert twin.capacity >= arena.capacity
+        assert_view_matches(twin, rows)
+        # The restored arena recycles the same slots the original would.
+        arena.submit("x", row(9, 4), 1.0, 1.0)
+        twin.submit("x", row(9, 4), 1.0, 1.0)
+        assert arena.slot_of["x"] == twin.slot_of["x"]
+
+    def test_adopt_layout_rejects_wrong_names(self):
+        arena, rows = self.make_fragmented()
+        layout = arena.layout()
+        twin = TensorArena(4)
+        twin.submit("zz", row(1, 4), 1.0, 1.0)
+        with pytest.raises(ValueError):
+            twin.adopt_layout(layout)
+
+    def test_clear(self):
+        arena, _ = self.make_fragmented()
+        arena.clear()
+        assert arena.order == [] and arena.n_active == 0
+        assert arena.slot_of == {} and arena.free_slots == []
+        assert arena.active_view()["perf_k"].shape[0] == 0

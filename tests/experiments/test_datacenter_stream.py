@@ -11,8 +11,10 @@ class TestDriveStream:
                             120, seed=5)[0]
         b = ds.drive_stream(ds.build_service(backend="python"),
                             120, seed=5)[0]
+        timing = {"events_per_s", "wall_s", "latency_p50_ms",
+                  "latency_p99_ms"}
         for key, value in a.items():
-            if key == "events_per_s":
+            if key in timing:
                 continue
             assert b[key] == value, key
 
@@ -105,3 +107,81 @@ class TestCli:
         payload = json.loads(path.read_text())
         assert payload["name"] == "datacenter_stream"
         assert payload["rows"]
+
+
+class TestCoupledRun:
+    def test_in_process_coupled_run(self):
+        pytest.importorskip("numpy")
+        result = ds.run(num_events=600, seed=4, couple=2,
+                        sync_every=100, reprice_every=50)
+        assert len(result.rows) == 1
+        row = result.rows[0]
+        assert row["segment"] == "coupled"
+        assert row["events"] == 600.0
+        assert row["price_syncs"] >= 1
+        assert result.params["couple"] == 2
+        assert result.params["sync_every"] == 100
+
+    def test_coupled_run_is_deterministic(self):
+        pytest.importorskip("numpy")
+        skip = {"events_per_s", "wall_s", "latency_p50_ms",
+                "latency_p99_ms"}
+        rows = [ds.run(num_events=400, seed=9, couple=2,
+                       sync_every=100, reprice_every=50).rows[0]
+                for _ in range(2)]
+        for key, value in rows[0].items():
+            if key not in skip:
+                assert rows[1][key] == value, key
+
+    def test_engine_shards_of_coupled_groups(self, tmp_path):
+        pytest.importorskip("numpy")
+        from repro.engine import ResultCache, SweepEngine
+
+        engine = SweepEngine(jobs=1,
+                             cache=ResultCache(root=str(tmp_path)))
+        result = ds.run(num_events=400, seed=4, shards=2, couple=2,
+                        sync_every=100, engine=engine,
+                        reprice_every=50)
+        assert len(result.rows) == 2
+        assert sum(row["price_syncs"] for row in result.rows) >= 2
+
+    def test_cli_couple_flag(self, capsys):
+        pytest.importorskip("numpy")
+        from repro.__main__ import main
+
+        assert main(["datacenter-stream", "--events", "400",
+                     "--couple", "2", "--sync-every", "100",
+                     "--reprice-every", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "global price syncs" in out
+
+    def test_cli_profile_flag(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        path = tmp_path / "stream.pstats"
+        assert main(["datacenter-stream", "--events", "60",
+                     "--backend", "python", "--reprice-every", "0",
+                     "--profile", str(path)]) == 0
+        assert path.exists()
+        import pstats
+
+        assert pstats.Stats(str(path)).total_calls > 0
+
+
+class TestStreamFullAcceptance:
+    @pytest.mark.skipif(
+        not __import__("os").environ.get("REPRO_STREAM_FULL"),
+        reason="set REPRO_STREAM_FULL=1 for the 1M-event sharded "
+               "acceptance run")
+    def test_1m_event_coupled_sharded_run(self):
+        """The ISSUE acceptance run: 1M events across a coupled shard
+        group - completes, audits clean, accounts for every event."""
+        pytest.importorskip("numpy")
+        group = ds.build_coupled_group(4, sync_every=ds.SYNC_EVERY)
+        stats, _ = ds.drive_coupled_stream(
+            group, 1_000_000, seed=7, reprice_every=250,
+            strict=True, readmit=False, audit_every=100_000)
+        assert stats["events"] == 1_000_000.0
+        group.verify_invariants()
+        assert stats["price_syncs"] > 0
+        assert stats["dead_letters"] == 0.0
