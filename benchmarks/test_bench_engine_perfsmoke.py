@@ -1,0 +1,154 @@
+"""Perf smoke: the mmap workload store on a cold multi-worker exact
+Fig 12 sweep.
+
+The zero-copy sweep engine's headline claim, asserted end to end: on a
+cold two-worker exact simulation sweep over the Figure 12 configuration
+grid, run in two phases (slices 1-4, then 5-8 on a *fresh* pool, the
+pattern real figure runs produce), the workload store
+
+* keeps the synthetic generator to **one invocation per workload** for
+  the whole run (store off, every fresh pool regenerates every
+  workload it touches), and
+* serves the second phase's workloads at least :data:`MIN_SPEEDUP`
+  times faster than regeneration, measured on the workload-acquisition
+  wall (worker-side ``generation_s`` vs mmap ``load_s`` - the work the
+  store actually replaces), and
+* is **bit-identical**: both phases' value grids match the store-off
+  run exactly.
+
+Honest numbers: total sweep wall is dominated by exact cycle-level
+simulation (~5x the generation cost per grid point), so the store's
+end-to-end win on *this* workload size is real but modest; the
+acquisition wall - regeneration vs mmap reload - is where the 3x floor
+is meaningful, and development-machine runs measure it at ~20x.  Both
+walls land in the JSON artifacts (``REPRO_PERF_SMOKE_DIR``) so CI
+trends the truth, not just the asserted floor.  See DESIGN.md ("Zero-
+copy sweep engine") for the ceiling analysis.
+"""
+
+import json
+import os
+import time
+
+from repro.engine import ResultCache, SweepEngine, SweepSpec
+from repro.engine.store import reset_store_counters
+from repro.trace import materialize
+
+BENCHMARKS = ("gcc", "bzip")
+LENGTH = 4000  # the Figure 12 trace length
+SEED = 1
+
+#: Fig 12 sweeps Slice count at the 128 KB baseline; split into two
+#: phases so the second runs on a cold pool against a warm store.
+PHASE_A = (1, 2, 3, 4)
+PHASE_B = (5, 6, 7, 8)
+
+#: Acquisition-wall floor (regeneration vs mmap reload); measured ~20x
+#: on the development machine, 3x leaves CI-noise margin.
+MIN_SPEEDUP = 3.0
+
+
+def _dump(name, payload):
+    out_dir = os.environ.get("REPRO_PERF_SMOKE_DIR", ".")
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, name)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+    return path
+
+
+def _spec(slices):
+    return SweepSpec(benchmarks=BENCHMARKS, simulate=True,
+                     cache_grid=(128.0,), slice_grid=tuple(slices),
+                     trace_length=LENGTH, trace_seed=SEED)
+
+
+def _run_mode(tmp_root, store):
+    """Two cold phases on fresh pools; returns per-phase sweeps+walls."""
+    engine = SweepEngine(
+        jobs=2, parallel_threshold=1,
+        cache=ResultCache(root=tmp_root / "cache"),
+        store=(tmp_root / "workloads") if store else None,
+    )
+    phases = []
+    for slices in (PHASE_A, PHASE_B):
+        materialize.clear()  # cold parent: workers fork a clean LRU
+        reset_store_counters()
+        start = time.perf_counter()
+        sweep = engine.run(_spec(slices))
+        wall = time.perf_counter() - start
+        assert sweep.parallel and sweep.workers == 2
+        phases.append((sweep, wall))
+    return phases
+
+
+def test_bench_engine_perf_smoke(tmp_path):
+    (off_a, wall_off_a), (off_b, wall_off_b) = _run_mode(
+        tmp_path / "off", store=False)
+    (on_a, wall_on_a), (on_b, wall_on_b) = _run_mode(
+        tmp_path / "on", store=True)
+
+    # Bit-identity before speed: a fast wrong store is worthless.
+    assert on_a.values == off_a.values
+    assert on_b.values == off_b.values
+
+    # One generator invocation per workload for the whole store-on run;
+    # store-off pays it again in every fresh pool.
+    gens_on = (on_a.store_stats["generations"]
+               + on_b.store_stats["generations"])
+    gens_off = (off_a.store_stats["generations"]
+                + off_b.store_stats["generations"])
+    assert gens_on == len(BENCHMARKS), (
+        f"store-on run generated {gens_on} times for "
+        f"{len(BENCHMARKS)} workloads")
+    assert gens_off == 2 * len(BENCHMARKS)
+    assert on_b.store_stats["store_hits"] == len(BENCHMARKS)
+    assert on_b.store_stats["generations"] == 0
+
+    # The acquisition wall: what phase B paid to obtain its workloads.
+    acq_off = off_b.store_stats["generation_s"]
+    acq_on = max(on_b.store_stats["store_load_s"], 1e-9)
+    speedup = acq_off / acq_on
+
+    common = {
+        "benchmarks": list(BENCHMARKS),
+        "trace_length": LENGTH,
+        "trace_seed": SEED,
+        "phase_a_slices": list(PHASE_A),
+        "phase_b_slices": list(PHASE_B),
+        "workers": 2,
+    }
+    off_path = _dump("engine_perf_smoke_store_off.json", {
+        **common, "store_enabled": False,
+        "wall_s": {"phase_a": wall_off_a, "phase_b": wall_off_b},
+        "generations": gens_off,
+        "generation_s": {"phase_a": off_a.store_stats["generation_s"],
+                         "phase_b": acq_off},
+    })
+    _dump("engine_perf_smoke_store_on.json", {
+        **common, "store_enabled": True,
+        "wall_s": {"phase_a": wall_on_a, "phase_b": wall_on_b},
+        "generations": gens_on,
+        "acquisition_speedup_phase_b": speedup,
+        "store": {
+            "dumps": on_a.store_stats["store_dumps"],
+            "hits": on_b.store_stats["store_hits"],
+            "misses": (on_a.store_stats["store_misses"]
+                       + on_b.store_stats["store_misses"]),
+            "mmap_opens": on_b.store_stats["store_mmap_opens"],
+            "bytes_mapped": on_b.store_stats["store_bytes_mapped"],
+            "load_s": on_b.store_stats["store_load_s"],
+            "dump_s": on_a.store_stats["store_dump_s"],
+        },
+        "sched": dict(on_b.sched_stats),
+    })
+    print(f"\nengine-perf-smoke: phase-B acquisition "
+          f"{acq_off:.3f}s regenerated vs {acq_on:.4f}s mapped "
+          f"-> {speedup:.1f}x; total walls off "
+          f"{wall_off_a + wall_off_b:.2f}s / on "
+          f"{wall_on_a + wall_on_b:.2f}s "
+          f"(timings next to {off_path})")
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"store acquisition only {speedup:.1f}x faster than "
+        f"regeneration (gen {acq_off:.3f}s, load {acq_on:.4f}s)")

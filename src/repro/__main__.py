@@ -56,6 +56,10 @@ def _cmd_experiments(args) -> int:
         argv.append("--no-cache")
     if args.cache_dir:
         argv += ["--cache-dir", args.cache_dir]
+    if args.no_store:
+        argv.append("--no-store")
+    elif args.workload_store is not True:
+        argv += ["--workload-store", args.workload_store]
     if args.obs:
         argv.append("--obs")
     if args.trace:
@@ -240,6 +244,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="disable the persistent result cache")
     exp.add_argument("--cache-dir", metavar="DIR", default=None,
                      help="result-cache directory")
+    exp.add_argument("--workload-store", metavar="PATH", nargs="?",
+                     const=True, default=True,
+                     help="shared mmap workload store (default on, "
+                          "under the cache dir)")
+    exp.add_argument("--no-store", action="store_true",
+                     help="disable the workload store")
     exp.add_argument("--obs", action="store_true",
                      help="enable the instrument registry")
     exp.add_argument("--trace", metavar="PATH", default=None,

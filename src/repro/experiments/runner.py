@@ -8,6 +8,9 @@ paper's presentation order.  Flags:
 ``--json <path>``     export all results + run metrics as JSON
 ``--no-cache``        disable the persistent result cache
 ``--cache-dir DIR``   cache location (default ``.repro_cache``)
+``--workload-store [PATH]``  shared mmap workload store (default on,
+                      under the cache dir; PATH overrides the root)
+``--no-store``        disable the workload store
 ``--obs``             enable the instrument registry (repro.obs)
 ``--trace PATH``      write a Chrome trace_event JSON of the run
                       (implies ``--obs``; open in ui.perfetto.dev)
@@ -107,6 +110,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--cache-dir", metavar="DIR", default=None,
                         help="result-cache directory "
                              "(default .repro_cache, or $REPRO_CACHE_DIR)")
+    parser.add_argument("--workload-store", metavar="PATH", nargs="?",
+                        const=True, default=True,
+                        help="shared mmap workload store: generated "
+                             "traces are dumped once and mapped "
+                             "read-only by every worker (default on, "
+                             "under the cache dir; pass PATH for an "
+                             "explicit root). Bit-identical results "
+                             "either way.")
+    parser.add_argument("--no-store", action="store_true",
+                        help="disable the workload store (regenerate "
+                             "traces per worker process)")
     parser.add_argument("--obs", action="store_true",
                         help="enable the instrument registry "
                              "(counters/histograms in --metrics-out)")
@@ -180,9 +194,17 @@ def _run(args) -> int:
     if args.sampling:
         from repro.sampling import DEFAULT_SAMPLING
         sampling = DEFAULT_SAMPLING
+    if args.no_store:
+        store = None
+    elif args.workload_store is True:
+        # Default placement is under the cache dir; honouring
+        # --no-cache keeps that run entirely off-disk.
+        store = None if args.no_cache else True
+    else:
+        store = args.workload_store
     engine = SweepEngine(jobs=args.jobs, cache=cache, obs=obs,
                          timeout_s=args.timeout, sampling=sampling,
-                         backend=args.backend)
+                         backend=args.backend, store=store)
     if obs is not OBS_OFF:
         from repro.trace import materialize
         materialize.attach_obs(obs.scope("trace.workload_lru"))

@@ -23,10 +23,11 @@ and warmup stream as immutable (the simulator already does).
 from __future__ import annotations
 
 import threading
+import time
 from array import array
 from collections import OrderedDict
 from dataclasses import asdict
-from typing import Any, Dict, List, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.trace.profiles import BenchmarkProfile, get_profile
 from repro.trace.records import Trace
@@ -85,13 +86,66 @@ class TraceArrays:
     def __len__(self) -> int:
         return self.length
 
+    @classmethod
+    def from_buffers(cls, length: int, pcs, mem_addrs, flags,
+                     targets) -> "TraceArrays":
+        """Wrap existing column buffers without copying.
+
+        Used by the workload store to serve mmap-backed, read-only
+        ``memoryview`` columns: every worker process indexes the same
+        physical pages.  Buffers must follow the constructor's layout
+        (``'q'`` for pcs/mem_addrs/targets, ``'b'`` flags, ``-1``
+        sentinels).
+        """
+        self = cls.__new__(cls)
+        self.length = int(length)
+        self.pcs = pcs
+        self.mem_addrs = mem_addrs
+        self.flags = flags
+        self.targets = targets
+        return self
+
+
+#: Full-fidelity content tokens are computed for traces up to this many
+#: instructions; beyond it :func:`trace_token` samples element
+#: identities (the token check runs on the per-window fast-forward
+#: path, and a full O(n) walk over a millions-long trace would cost as
+#: much as the window itself).
+_TOKEN_FULL_MAX = 65536
+_TOKEN_PROBES = 4096
+
+
+def trace_token(trace: Trace) -> int:
+    """Identity fingerprint of a trace's instruction stream.
+
+    Replacing any element of a small trace changes the token;
+    for traces above ``_TOKEN_FULL_MAX`` a strided sample of element
+    identities (plus length and endpoints) is fingerprinted instead.
+    """
+    insts = trace._instructions
+    n = len(insts)
+    if n <= _TOKEN_FULL_MAX:
+        return hash((n, tuple(map(id, insts))))
+    step = max(1, n // _TOKEN_PROBES)
+    probes = tuple(id(insts[i]) for i in range(0, n, step))
+    return hash((n, id(insts), id(insts[-1]), probes))
+
 
 def materialize(trace: Trace) -> TraceArrays:
-    """The trace's :class:`TraceArrays`, built once and cached on it."""
+    """The trace's :class:`TraceArrays`, built once and cached on it.
+
+    The memo is keyed on the trace's *content identity*
+    (:func:`trace_token`), not just its length, so a trace mutated in
+    place can never serve stale columns.
+    """
+    token = trace_token(trace)
     arrays = getattr(trace, "_materialized", None)
-    if arrays is None or arrays.length != len(trace):
-        arrays = TraceArrays(trace)
-        trace._materialized = arrays  # type: ignore[attr-defined]
+    if (arrays is not None and arrays.length == len(trace)
+            and getattr(trace, "_materialized_token", None) == token):
+        return arrays
+    arrays = TraceArrays(trace)
+    trace._materialized = arrays  # type: ignore[attr-defined]
+    trace._materialized_token = token  # type: ignore[attr-defined]
     return arrays
 
 
@@ -103,11 +157,42 @@ ProfileLike = Union[str, BenchmarkProfile]
 WorkloadKey = Tuple[Any, ...]
 
 _lock = threading.Lock()
-_lru: "OrderedDict[WorkloadKey, Tuple[List[int], Trace]]" = OrderedDict()
+_lru: "OrderedDict[WorkloadKey, Tuple[Any, Trace]]" = OrderedDict()
 _capacity = DEFAULT_CAPACITY
 _hits = 0
 _misses = 0
 _evictions = 0
+_generations = 0
+_generation_s = 0.0
+
+#: Process default workload store (see :func:`set_store`): the tier
+#: between the in-process LRU and regeneration.  Duck-typed - anything
+#: with ``fetch(profile_fields, length, seed, multiplier, generate)``
+#: works; in practice a
+#: :class:`~repro.engine.store.WorkloadStore` (materialize cannot
+#: import it: the store sits above this module in the layering).
+_default_store: Optional[Any] = None
+
+#: Sentinel distinguishing "use the process default" from an explicit
+#: ``store=None`` (force regeneration semantics).
+_UNSET = object()
+
+
+def set_store(store: Optional[Any]) -> Optional[Any]:
+    """Install the process-default workload store; returns the old one.
+
+    Pool workers call this (through the engine's batch payloads) so
+    every :func:`get_workload` LRU miss tries the shared mmap store
+    before paying for generation.
+    """
+    global _default_store
+    previous = _default_store
+    _default_store = store
+    return previous
+
+
+def get_default_store() -> Optional[Any]:
+    return _default_store
 
 
 def _profile_fields(profile: ProfileLike) -> Tuple[Tuple[str, Any], ...]:
@@ -123,15 +208,39 @@ def workload_key(profile: ProfileLike, length: int, seed: int = 0,
             float(warmup_cold_multiplier))
 
 
+def _generate_workload(prof: BenchmarkProfile, length: int, seed: int,
+                       warmup_cold_multiplier: float
+                       ) -> Tuple[List[int], Trace]:
+    """Run the synthetic generator (the slow path), counted and timed."""
+    global _generations, _generation_s
+    from repro.trace.generator import SyntheticTraceGenerator
+
+    start = time.monotonic()
+    generator = SyntheticTraceGenerator(prof, seed=seed)
+    warmup = generator.warmup_addresses(warmup_cold_multiplier)
+    trace = generator.generate(length)
+    materialize(trace)
+    with _lock:
+        _generations += 1
+        _generation_s += time.monotonic() - start
+    return warmup, trace
+
+
 def get_workload(profile: ProfileLike, length: int, seed: int = 0,
-                 warmup_cold_multiplier: float = 4.0
-                 ) -> Tuple[List[int], Trace]:
-    """A ``(warmup_addresses, trace)`` pair, served from the LRU.
+                 warmup_cold_multiplier: float = 4.0,
+                 store: Any = _UNSET) -> Tuple[Any, Trace]:
+    """A ``(warmup_addresses, trace)`` pair, served in three tiers:
+    the process-local LRU, then the shared mmap workload store (when one
+    is installed via :func:`set_store` or passed as ``store=``), then
+    the synthetic generator.
 
     Generation is identical to
     :func:`repro.trace.generator.make_workload`; only the redundant
     re-generation is elided.  The trace's :class:`TraceArrays` are built
-    eagerly so every consumer shares them.
+    eagerly so every consumer shares them.  Store-served workloads are
+    bit-identical to generated ones (same instruction stream, same
+    warmup values); their warmup is a read-only ``memoryview`` over the
+    mapped file rather than a list.
     """
     global _hits, _misses, _evictions
     key = workload_key(profile, length, seed, warmup_cold_multiplier)
@@ -142,15 +251,19 @@ def get_workload(profile: ProfileLike, length: int, seed: int = 0,
             _hits += 1
             return cached
 
-    # Generate outside the lock: generation is seconds-scale and pure.
-    from repro.trace.generator import SyntheticTraceGenerator
-
+    # Generate/load outside the lock: generation is seconds-scale and
+    # pure, and the store serializes concurrent generators itself.
     prof = get_profile(profile) if isinstance(profile, str) else profile
-    generator = SyntheticTraceGenerator(prof, seed=seed)
-    warmup = generator.warmup_addresses(warmup_cold_multiplier)
-    trace = generator.generate(length)
-    materialize(trace)
-    entry = (warmup, trace)
+    if store is _UNSET:
+        store = _default_store
+    if store is not None:
+        entry = store.fetch(
+            key[0], int(length), int(seed), float(warmup_cold_multiplier),
+            lambda: _generate_workload(prof, int(length), int(seed),
+                                       float(warmup_cold_multiplier)))
+    else:
+        entry = _generate_workload(prof, int(length), int(seed),
+                                   float(warmup_cold_multiplier))
     with _lock:
         _misses += 1
         _lru[key] = entry
@@ -175,16 +288,19 @@ def set_capacity(capacity: int) -> None:
 
 def clear() -> None:
     """Drop every cached workload and zero the counters."""
-    global _hits, _misses, _evictions
+    global _hits, _misses, _evictions, _generations, _generation_s
     with _lock:
         _lru.clear()
         _hits = 0
         _misses = 0
         _evictions = 0
+        _generations = 0
+        _generation_s = 0.0
 
 
-def cache_stats() -> Dict[str, int]:
-    """Current LRU counters: hits, misses, evictions, size, capacity."""
+def cache_stats() -> Dict[str, Any]:
+    """Current LRU counters: hits, misses, evictions, size, capacity,
+    plus the process's generator invocations and time."""
     with _lock:
         return {
             "hits": _hits,
@@ -192,6 +308,8 @@ def cache_stats() -> Dict[str, int]:
             "evictions": _evictions,
             "size": len(_lru),
             "capacity": _capacity,
+            "generations": _generations,
+            "generation_s": _generation_s,
         }
 
 
@@ -201,4 +319,5 @@ def attach_obs(scope) -> None:
     scope.gauge("misses", lambda: _misses)
     scope.gauge("evictions", lambda: _evictions)
     scope.gauge("size", lambda: len(_lru))
+    scope.gauge("generations", lambda: _generations)
     scope.info("capacity", _capacity)

@@ -72,7 +72,8 @@ class TestStore:
         assert cache.get(key) is None
         cache.put(key, [[0.0, 1, 0.5]])
         assert cache.get(key) == [[0.0, 1, 0.5]]
-        assert cache.counters() == {"hits": 1, "misses": 1, "puts": 1}
+        assert cache.counters() == {"hits": 1, "misses": 1, "puts": 1,
+                                    "corrupt": 0}
 
     def test_float_roundtrip_exact(self, cache):
         value = [[8192.0, 7, 0.12345678901234567]]
@@ -86,6 +87,31 @@ class TestStore:
         path = cache._path_for(key)
         path.write_text("{not json", encoding="utf-8")
         assert cache.get(key) is None
+        assert cache.counters()["corrupt"] == 1
+
+    def test_corrupt_entry_is_unlinked_and_repairable(self, cache):
+        """A poison entry is quarantined (unlinked) on first read, so a
+        recompute's put() repairs the cache instead of tripping on it."""
+        key = canonical_key({"z": 4})
+        cache.put(key, [[0.0, 1, 0.5]])
+        path = cache._path_for(key)
+        path.write_text('{"key": "x"}', encoding="utf-8")  # no "value"
+        assert cache.get(key) is None
+        assert not path.exists()
+        cache.put(key, [[0.0, 1, 0.7]])
+        assert cache.get(key) == [[0.0, 1, 0.7]]
+        counters = cache.counters()
+        assert counters["corrupt"] == 1
+        assert counters["hits"] == 1
+
+    def test_missing_entry_behind_index_is_not_corrupt(self, cache):
+        """An entry unlinked behind the index (a concurrent clear or
+        quarantine) is a plain miss, not corruption."""
+        key = canonical_key({"z": 5})
+        cache.put(key, [1])
+        cache._path_for(key).unlink()
+        assert cache.get(key) is None
+        assert cache.counters()["corrupt"] == 0
 
     def test_disabled_cache_never_stores(self, tmp_path):
         cache = ResultCache(root=tmp_path / "c", enabled=False)

@@ -246,3 +246,77 @@ class TestUnitTelemetry:
         assert dist["evaluated_units"] == 2
         assert dist["cached_units"] == 2
         assert dist["eval_s"]["count"] == 2
+
+
+class TestDeathAndSharedState:
+    """Worker death crossed with the shared index and store claims:
+    everything published before a crash stays visible to every other
+    reader, and nothing a dead process held can wedge a successor."""
+
+    @pytest.mark.skipif(not IS_FORK,
+                        reason="monkeypatch propagation needs fork")
+    def test_completed_prefix_in_index_after_death(self, tmp_path,
+                                                   monkeypatch):
+        sentinel = tmp_path / "unused"
+        monkeypatch.setattr(
+            engine_core, "evaluate_unit",
+            TestWorkerDeath._die_on_bzip(sentinel, once=False))
+        engine = _engine(tmp_path, jobs=2, parallel_threshold=1,
+                         pool_retries=0)
+        spec = _spec()
+        keys = {u.benchmark: u.cache_key() for u in spec.expand()}
+        with pytest.raises(WorkUnitError):
+            engine.run(spec)
+
+        # A brand-new cache instance (fresh pool of readers) resolves
+        # the completed prefix through the on-disk index.
+        fresh = ResultCache(root=tmp_path / "cache")
+        assert fresh.contains(keys["gcc"]) is True
+        assert fresh.contains(keys["bzip"]) is False
+        assert fresh.get(keys["gcc"]) is not None
+        assert fresh.counters()["hits"] == 1
+
+    @pytest.mark.skipif(not IS_FORK,
+                        reason="monkeypatch propagation needs fork")
+    def test_no_claims_left_after_death(self, tmp_path, monkeypatch):
+        sentinel = tmp_path / "unused"
+        monkeypatch.setattr(
+            engine_core, "evaluate_unit",
+            TestWorkerDeath._die_on_bzip(sentinel, once=False))
+        engine = _engine(tmp_path, jobs=2, parallel_threshold=1,
+                         pool_retries=0)
+        spec = _spec()
+        with pytest.raises(WorkUnitError):
+            engine.run(spec)
+        for unit in spec.expand():
+            assert not engine.cache.claims.active(unit.cache_key())
+
+    def test_store_claim_from_dead_worker_expires(self, tmp_path):
+        """A workload-store claim held by a dead pid (a worker that was
+        OOM-killed mid-generation) must be broken by the next sweep,
+        not waited out."""
+        from repro.engine.store import WorkloadStore, store_key
+        from repro.trace import materialize
+        from repro.trace.materialize import workload_key
+
+        materialize.clear()  # force the store tier, not the LRU
+        store = WorkloadStore(tmp_path / "workloads")
+        fields = workload_key("gcc", 600, 1, 4.0)[0]
+        key = store_key(fields, 600, 1, 4.0)
+        path = store.claims.path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text('{"pid": 999999999, "ts": 0.0}',
+                        encoding="utf-8")
+        old = os.stat(path)
+        os.utime(path, (old.st_atime - 10, old.st_mtime - 10))
+
+        engine = _engine(tmp_path, jobs=1, store=store)
+        spec = SweepSpec(benchmarks=("gcc",), simulate=True,
+                         cache_grid=(64.0,), slice_grid=(1,),
+                         trace_length=600)
+        start = time.perf_counter()
+        sweep = engine.run(spec)
+        assert time.perf_counter() - start < 60  # no TTL wait
+        assert sweep.cache_misses == 1
+        assert store.has(key)  # the successor generated and published
+        assert not store.claims.active(key)

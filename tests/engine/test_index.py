@@ -1,0 +1,237 @@
+"""The shared cache index and cross-sweep dedupe.
+
+The index is pure acceleration (rebuildable from entry files, identical
+hit behaviour), appends are atomic single-line writes (a reader never
+observes a torn record), and in-flight claims let two engines on one
+cache directory split a sweep's units instead of both evaluating them.
+"""
+
+import json
+import multiprocessing
+import os
+import threading
+import time
+
+import pytest
+
+from repro.engine import ResultCache, SweepEngine, SweepSpec
+from repro.engine import core as engine_core
+from repro.engine.cache import canonical_key
+from repro.engine.claims import ClaimBox
+
+IS_FORK = multiprocessing.get_start_method() == "fork"
+
+
+@pytest.fixture
+def root(tmp_path):
+    return tmp_path / "cache"
+
+
+def _fill(root, n=5):
+    cache = ResultCache(root=root)
+    keys = []
+    for i in range(n):
+        key = canonical_key({"i": i})
+        cache.put(key, [[0.0, 1, float(i)]])
+        keys.append(key)
+    return keys
+
+
+class TestIndex:
+    def test_hits_resolve_through_index(self, root):
+        keys = _fill(root)
+        fresh = ResultCache(root=root)
+        for i, key in enumerate(keys):
+            assert fresh.get(key) == [[0.0, 1, float(i)]]
+        assert fresh.counters()["hits"] == len(keys)
+
+    def test_deleted_index_is_rebuilt_identically(self, root):
+        keys = _fill(root)
+        reference = ResultCache(root=root)
+        expected = {k: reference.get(k) for k in keys}
+
+        os.unlink(reference.index_path)
+        rebuilt = ResultCache(root=root)
+        assert {k: rebuilt.get(k) for k in keys} == expected
+        assert rebuilt.counters()["hits"] == len(keys)
+        assert rebuilt.index_path.exists()  # regenerated on load
+
+    def test_rebuild_returns_entry_count(self, root):
+        keys = _fill(root, n=7)
+        cache = ResultCache(root=root)
+        assert cache.rebuild_index() == 7
+        assert cache._scan_entry_keys() == set(keys)
+
+    def test_refresh_sees_concurrent_appends(self, root):
+        writer = ResultCache(root=root)
+        reader = ResultCache(root=root)
+        key0 = canonical_key({"i": 0})
+        writer.put(key0, [0])
+        assert reader.get(key0) == [0]  # first load reads everything
+
+        key1 = canonical_key({"i": 1})
+        writer.put(key1, [1])
+        # Not visible until a refresh (the index memo is per-instance).
+        assert reader.contains(key1) is False
+        assert reader.refresh_index() == 1
+        assert reader.get(key1) == [1]
+
+    def test_torn_final_line_is_ignored_until_complete(self, root):
+        keys = _fill(root, n=2)
+        reader = ResultCache(root=root)
+        reader.get(keys[0])
+
+        key = canonical_key({"late": True})
+        line = json.dumps({"key": key}, separators=(",", ":"))
+        with open(reader.index_path, "ab") as fh:
+            fh.write(line[:10].encode())  # a torn, in-flight append
+        assert reader.refresh_index() == 0
+        assert not reader.contains(key)
+
+        with open(reader.index_path, "ab") as fh:
+            fh.write(line[10:].encode() + b"\n")
+        assert reader.refresh_index() == 1
+        assert reader.contains(key)
+
+    def test_contains_moves_no_counters(self, root):
+        keys = _fill(root)
+        cache = ResultCache(root=root)
+        assert cache.contains(keys[0]) is True
+        assert cache.contains("0" * 64) is False
+        counters = cache.counters()
+        assert counters["hits"] == 0 and counters["misses"] == 0
+
+    def test_clear_resets_index(self, root):
+        keys = _fill(root)
+        cache = ResultCache(root=root)
+        cache.clear()
+        assert not cache.index_path.exists()
+        assert cache.get(keys[0]) is None
+
+
+class TestClaims:
+    def test_acquire_release_roundtrip(self, tmp_path):
+        box = ClaimBox(tmp_path / "claims")
+        assert box.acquire("k") is True
+        assert box.active("k") is True
+        assert box.acquire("k") is False  # live claim held (our pid)
+        box.release("k")
+        assert box.active("k") is False
+        assert box.acquire("k") is True
+
+    def test_dead_owner_claim_is_broken(self, tmp_path):
+        box = ClaimBox(tmp_path / "claims")
+        path = box.path("k")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text('{"pid": 999999999, "ts": 0.0}',
+                        encoding="utf-8")
+        old = os.stat(path)
+        os.utime(path, (old.st_atime - 10, old.st_mtime - 10))
+        assert box.active("k") is False
+        assert box.acquire("k") is True
+
+    def test_aged_claim_expires(self, tmp_path):
+        box = ClaimBox(tmp_path / "claims", ttl_s=0.05)
+        assert box.acquire("k")
+        time.sleep(0.1)
+        assert box.active("k") is False  # own pid alive, but past TTL
+        assert box.acquire("k") is True  # broken and re-taken
+
+    def test_release_is_idempotent(self, tmp_path):
+        box = ClaimBox(tmp_path / "claims")
+        box.release("never-acquired")
+        assert box.acquire("k")
+        box.release("k")
+        box.release("k")
+
+
+@pytest.mark.skipif(not IS_FORK,
+                    reason="dedupe test monkeypatches via fork")
+class TestConcurrentSweeps:
+    def test_two_engines_split_the_work(self, tmp_path, monkeypatch):
+        """Two engines, one cache dir, overlapping sweeps: every unique
+        unit is evaluated exactly once across both, and both get the
+        full (identical) result set through the shared index."""
+        calls_dir = tmp_path / "calls"
+        calls_dir.mkdir()
+        real = engine_core.evaluate_unit
+
+        def counted(unit):
+            stamp = f"{unit.cache_key()}.{time.monotonic_ns()}"
+            (calls_dir / stamp).touch()
+            time.sleep(0.15)  # hold the overlap window open
+            return real(unit)
+
+        monkeypatch.setattr(engine_core, "evaluate_unit", counted)
+        spec = SweepSpec(benchmarks=("gcc", "bzip", "mcf"),
+                         cache_grid=(0.0, 128.0), slice_grid=(1, 2))
+        cache_root = tmp_path / "cache"
+        sweeps = {}
+
+        def run(name):
+            engine = SweepEngine(jobs=1,
+                                 cache=ResultCache(root=cache_root))
+            sweeps[name] = (engine, engine.run(spec))
+
+        first = threading.Thread(target=run, args=("a",))
+        first.start()
+        time.sleep(0.05)  # let A claim its units before B expands
+        run("b")
+        first.join()
+
+        engine_a, sweep_a = sweeps["a"]
+        engine_b, sweep_b = sweeps["b"]
+        assert sweep_a.values == sweep_b.values
+
+        evaluated = sorted(p.name.split(".")[0]
+                           for p in calls_dir.iterdir())
+        assert evaluated == sorted(u.cache_key() for u in spec.expand())
+
+        # B arrived second: its units were claimed by A, deferred, and
+        # served from A's published entries - never re-evaluated.
+        assert engine_b._claims_lost == 3
+        assert engine_b._deferred_served == 3
+        assert sweep_b.sched_stats["deferred_served"] == 3
+        # No claims left behind by either engine.
+        for unit in spec.expand():
+            assert not engine_a.cache.claims.active(unit.cache_key())
+
+    def test_deferred_falls_back_when_claimant_dies(self, tmp_path):
+        """A claim whose owner vanished without publishing must not
+        wedge the sweep: the deferred unit is evaluated locally."""
+        cache_root = tmp_path / "cache"
+        spec = SweepSpec(benchmarks=("gcc",), cache_grid=(0.0, 128.0),
+                         slice_grid=(1, 2))
+        unit = spec.expand()[0]
+
+        cache = ResultCache(root=cache_root)
+        path = cache.claims.path(unit.cache_key())
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text('{"pid": 999999999, "ts": 0.0}',
+                        encoding="utf-8")
+        old = os.stat(path)
+        os.utime(path, (old.st_atime - 10, old.st_mtime - 10))
+
+        engine = SweepEngine(jobs=1, cache=cache)
+        sweep = engine.run(spec)
+        # The stale claim was broken outright (dead pid), so the unit
+        # was claimed and evaluated here, not deferred.
+        assert sweep.cache_misses == 1
+        assert sweep.values[("gcc",)]
+
+    def test_dedupe_off_ignores_claims(self, tmp_path):
+        cache_root = tmp_path / "cache"
+        spec = SweepSpec(benchmarks=("gcc",), cache_grid=(0.0,),
+                         slice_grid=(1,))
+        unit = spec.expand()[0]
+        cache = ResultCache(root=cache_root)
+        assert cache.claims.acquire(unit.cache_key())
+        try:
+            engine = SweepEngine(jobs=1,
+                                 cache=ResultCache(root=cache_root),
+                                 dedupe=False)
+            sweep = engine.run(spec)
+            assert sweep.cache_misses == 1
+            assert engine._claims_lost == 0
+        finally:
+            cache.claims.release(unit.cache_key())

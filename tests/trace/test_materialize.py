@@ -48,6 +48,43 @@ class TestTraceArrays:
         second = mat.materialize(trace)
         assert first is second
 
+    def test_memo_keyed_on_content_not_length(self):
+        """A trace whose instruction list was swapped in place (same
+        length, different content) must not serve the stale columns."""
+        _, trace_a = make_workload("gcc", 300, seed=1)
+        _, trace_b = make_workload("gcc", 300, seed=2)
+        stale = mat.materialize(trace_a)
+        # Same length, different instructions - the classic aliasing
+        # bug a length-only memo check cannot catch.
+        trace_a._instructions = list(trace_b._instructions)
+        rebuilt = mat.materialize(trace_a)
+        assert rebuilt is not stale
+        assert list(rebuilt.pcs) == list(mat.materialize(trace_b).pcs)
+
+    def test_memo_rebuilds_on_element_replacement(self):
+        _, trace = make_workload("gcc", 300, seed=1)
+        arrays = mat.materialize(trace)
+        from dataclasses import replace as dc_replace
+
+        swapped = dc_replace(trace._instructions[5],
+                             pc=trace[5].pc + 4096)
+        trace._instructions[5] = swapped
+        rebuilt = mat.materialize(trace)
+        assert rebuilt is not arrays
+        assert rebuilt.pcs[5] == trace[5].pc
+
+    def test_token_stable_while_unmutated(self):
+        _, trace = make_workload("gcc", 300, seed=1)
+        assert mat.trace_token(trace) == mat.trace_token(trace)
+
+    def test_from_buffers_wraps_without_copy(self):
+        _, trace = make_workload("gcc", 200, seed=1)
+        src = TraceArrays(trace)
+        view = TraceArrays.from_buffers(
+            src.length, src.pcs, src.mem_addrs, src.flags, src.targets)
+        assert view.pcs is src.pcs
+        assert len(view) == len(src)
+
 
 class TestWorkloadLRU:
     def test_hit_and_miss_counters(self):
